@@ -1,0 +1,36 @@
+"""Ablation F: write scheduling — FCFS vs watermark draining.
+
+The paper schedules writebacks with the same FCFS/VFTF priority as
+reads.  Real controllers often hold writes until the write buffer
+passes a high watermark, then drain them in a burst, avoiding
+read/write bus turnarounds (t_WTR) on the read critical path.  This
+bench quantifies that trade under both the baseline and FQ schedulers
+on a write-heavy pair (swim at 40% stores + art).
+"""
+
+from conftest import once
+
+from repro.experiments.ablations import (
+    render_write_drain_sweep,
+    sweep_write_drain,
+)
+from repro.sim.runner import DEFAULT_CYCLES
+
+
+def test_write_drain_sweep(benchmark):
+    rows = once(benchmark, lambda: sweep_write_drain(cycles=DEFAULT_CYCLES))
+    print()
+    print(render_write_drain_sweep(rows))
+
+    def pick(policy, drain):
+        return next(
+            r for r in rows if r.policy == policy and r.write_drain == drain
+        )
+
+    for policy in ("FR-FCFS", "FQ-VFTF"):
+        fcfs = pick(policy, "fcfs")
+        watermark = pick(policy, "watermark")
+        # Draining must not sacrifice throughput...
+        assert watermark.data_bus_utilization > 0.93 * fcfs.data_bus_utilization
+        # ...and should keep reads at or below the FCFS read latency.
+        assert watermark.mean_read_latency < 1.05 * fcfs.mean_read_latency

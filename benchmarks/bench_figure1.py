@@ -1,0 +1,24 @@
+"""Figure 1: vpr alone / +crafty / +art under FR-FCFS.
+
+Paper numbers: vpr's memory latency goes from ~150 cycles alone to
+~1070 cycles with art, a ~60% IPC loss; crafty has no visible effect.
+"""
+
+from conftest import once
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1(benchmark, cycles):
+    result = once(benchmark, lambda: run_figure1(cycles=cycles))
+    print()
+    print(result.render())
+
+    alone = result.row("vpr alone")
+    with_crafty = result.row("vpr + crafty")
+    with_art = result.row("vpr + art")
+
+    # Shape: crafty leaves vpr untouched; art devastates it.
+    assert abs(with_crafty.ipc - alone.ipc) / alone.ipc < 0.1
+    assert with_art.read_latency > 3 * alone.read_latency
+    assert with_art.ipc < 0.6 * alone.ipc

@@ -1,0 +1,32 @@
+"""Figure 4: solo data-bus utilization of the twenty benchmarks.
+
+Paper shape: a spectrum from art (most aggressive) down to crafty
+(~1%), with the top six subjects each demanding more than half the
+memory bandwidth and the bottom three under 2%.
+"""
+
+from conftest import once
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4(benchmark, cycles):
+    result = once(benchmark, lambda: run_figure4(cycles=cycles))
+    print()
+    print(result.render())
+
+    utils = result.utilizations()
+    ordered = [r.bus_utilization for r in result.rows]
+
+    # art leads; vpr sits near the paper's 14%; the excluded tail is
+    # under 2%; and the top benchmarks demand more than half the bus.
+    assert utils["art"] >= 0.95 * max(ordered)
+    assert 0.08 <= utils["vpr"] <= 0.22
+    for name in ("sixtrack", "perlbmk", "crafty"):
+        assert utils[name] < 0.03
+    for row in result.rows[:6]:
+        assert row.bus_utilization > 0.5
+    # Broadly decreasing spectrum (each at most slightly above its
+    # predecessor, allowing sampling noise).
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later <= earlier * 1.25 + 0.02

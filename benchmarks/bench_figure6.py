@@ -1,0 +1,30 @@
+"""Figure 6: the background thread's (art's) normalized IPC.
+
+Paper shape: against subjects that demand more than half the memory
+system, the background's normalized IPC is close to one (bandwidth
+split evenly); it rises steadily as subjects get less demanding and
+art receives the excess service.
+"""
+
+from conftest import once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6(benchmark, pair_outcomes):
+    result = once(benchmark, lambda: run_figure6(outcomes=pair_outcomes))
+    print()
+    print(result.render())
+
+    series = result.series("FQ-VFTF")
+
+    # Background always receives its share (normalized IPC near or
+    # above one even against the heaviest subjects).
+    assert min(series) > 0.8
+
+    # Excess flows to the background as subjects weaken: the mean over
+    # the five least-demanding subjects clearly exceeds the mean over
+    # the five most-demanding ones.
+    heavy = sum(series[:5]) / 5
+    light = sum(series[-5:]) / 5
+    assert light > 1.3 * heavy

@@ -1,0 +1,35 @@
+"""Figure 7: aggregate performance improvement and memory throughput.
+
+Paper numbers: FQ-VFTF improves system performance by 31% on average
+(up to 76%) over FR-FCFS; data-bus utilizations stay high for all
+three schedulers (FR-FCFS best, FR-VFTF 94%, FQ-VFTF 92%); bank
+utilization rises under the QoS schedulers.
+"""
+
+from conftest import once
+
+from repro.experiments.figure7 import run_figure7
+
+
+def test_figure7(benchmark, pair_outcomes):
+    result = once(benchmark, lambda: run_figure7(outcomes=pair_outcomes))
+    print()
+    print(result.render())
+
+    # System performance: FQ clearly positive on average, with a large
+    # best case (paper: +31% average, +76% max).
+    assert result.mean_improvement("FQ-VFTF") > 0.10
+    assert result.max_improvement("FQ-VFTF") > 0.40
+
+    # Throughput: the QoS schedulers keep data-bus utilization within a
+    # few percent of the throughput-optimized FR-FCFS baseline.
+    fr_bus = result.mean_bus_utilization("FR-FCFS")
+    assert fr_bus > 0.8
+    assert result.mean_bus_utilization("FQ-VFTF") > 0.93 * fr_bus
+    assert result.mean_bus_utilization("FR-VFTF") > 0.93 * fr_bus
+
+    # Bank utilization: offering QoS costs bank bandwidth, never less
+    # than the baseline by much.
+    assert result.mean_bank_utilization("FQ-VFTF") > 0.9 * result.mean_bank_utilization(
+        "FR-FCFS"
+    )

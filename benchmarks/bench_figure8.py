@@ -1,0 +1,39 @@
+"""Figure 8: four-processor desktop workloads.
+
+Paper shape: under FR-FCFS the most aggressive thread of workload 1
+(art) receives the most service while the meek threads fall below the
+QoS objective; under FQ-VFTF every thread's normalized IPC is at or
+above one and bus shares are near-uniform.  Paper per-workload deltas:
++41%, −2%, −2%, +14% (+14% average).
+"""
+
+from conftest import once
+
+from repro.experiments.figure8 import run_figure8
+
+
+def test_figure8(benchmark, quad_outcomes):
+    result = once(benchmark, lambda: run_figure8(outcomes=quad_outcomes))
+    print()
+    print(result.render())
+
+    assert result.workloads[0] == ("art", "lucas", "apsi", "ammp")
+
+    # FR-FCFS drops some thread far below the QoS objective; FQ lifts
+    # the worst thread dramatically.
+    assert result.min_norm_ipc("FR-FCFS") < 0.6
+    assert result.min_norm_ipc("FQ-VFTF") > 2 * result.min_norm_ipc("FR-FCFS")
+
+    # Aggregate performance: FQ never loses on any workload by more
+    # than the paper's ±2% error margin, and wins on average.
+    for index in range(4):
+        delta = result.workload_improvement(index)["FQ-VFTF"]
+        assert delta > -0.05
+    assert result.mean_improvement("FQ-VFTF") > 0.05
+
+    # Bandwidth distribution: within each workload, the spread of bus
+    # shares narrows under FQ.
+    for index in range(4):
+        fr = [t.bus_utilization for t in result.for_workload(index, "FR-FCFS")]
+        fq = [t.bus_utilization for t in result.for_workload(index, "FQ-VFTF")]
+        assert max(fq) - min(fq) <= (max(fr) - min(fr)) * 1.05

@@ -1,0 +1,43 @@
+"""Figure 9: normalized latency vs normalized target bus utilization.
+
+Paper numbers: FR-FCFS normalized target-utilization spread — mean
+.88, range [.28, 2.1], variance .20; FQ-VFTF — mean .88, range
+[.73, .98], variance .0058 (the headline 34× variance reduction).
+"""
+
+from conftest import once
+
+from repro.experiments.figure9 import run_figure9
+
+
+def test_figure9(benchmark, quad_outcomes, cycles):
+    result = once(
+        benchmark, lambda: run_figure9(cycles=cycles, outcomes=quad_outcomes)
+    )
+    print()
+    print(result.render())
+
+    fr_var = result.utilization_variance("FR-FCFS")
+    fq_var = result.utilization_variance("FQ-VFTF")
+
+    # The headline: an order-of-magnitude variance reduction.
+    assert fq_var < fr_var / 5
+
+    # FR-FCFS shows a wild spread; FQ clusters near (slightly left of)
+    # the ideal line at one.
+    fr_lo, fr_hi = result.utilization_range("FR-FCFS")
+    fq_lo, fq_hi = result.utilization_range("FQ-VFTF")
+    assert fr_hi - fr_lo > 2 * (fq_hi - fq_lo)
+    assert 0.7 <= result.mean_normalized_utilization("FQ-VFTF") <= 1.1
+    assert fq_hi <= 1.3
+
+    # Latency rises with delivered bandwidth under FQ (the paper's
+    # closing observation supporting its fairness policy): the more
+    # utilized half has higher mean normalized latency.
+    points = sorted(
+        result.for_policy("FQ-VFTF"), key=lambda p: p.normalized_utilization
+    )
+    half = len(points) // 2
+    low = sum(p.normalized_latency for p in points[:half]) / half
+    high = sum(p.normalized_latency for p in points[half:]) / (len(points) - half)
+    assert high > low

@@ -1,0 +1,39 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's evaluation figures and
+prints the corresponding rows/series.  Figures 5–7 share one set of
+two-processor runs and Figures 8–9 one set of four-processor runs;
+the session-scoped fixtures below make the sharing explicit, so
+``pytest benchmarks/ --benchmark-only`` simulates each workload once.
+
+Run length follows ``REPRO_SIM_CYCLES`` (default 60,000 cycles of
+measurement per run, preceded by a 25% warmup).
+"""
+
+import pytest
+
+from repro.experiments.pairs import run_pairs
+from repro.experiments.quads import run_quads
+from repro.sim.runner import DEFAULT_CYCLES
+
+
+@pytest.fixture(scope="session")
+def cycles():
+    return DEFAULT_CYCLES
+
+
+@pytest.fixture(scope="session")
+def pair_outcomes(cycles):
+    """The 19 subject+art co-runs under all three policies."""
+    return run_pairs(cycles=cycles)
+
+
+@pytest.fixture(scope="session")
+def quad_outcomes(cycles):
+    """The four 4-thread desktop workloads under FR-FCFS and FQ-VFTF."""
+    return run_quads(cycles=cycles)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

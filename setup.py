@@ -1,0 +1,5 @@
+"""Shim so editable installs work offline (no `wheel` package available)."""
+
+from setuptools import setup
+
+setup()

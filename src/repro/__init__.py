@@ -1,0 +1,94 @@
+"""Fair Queuing Memory Systems — a reproduction of Nesbit et al., MICRO 2006.
+
+A cycle-level CMP memory-system simulator with three multi-thread
+memory schedulers:
+
+* **FR-FCFS** — the single-thread-optimized baseline (Rixner et al.),
+* **FR-VFTF** — virtual-finish-time priority without the FQ bank rule,
+* **FQ-VFTF** — the paper's fair queuing memory scheduler: each thread
+  is accounted against a private virtual-time memory system (VTMS) and
+  requests are serviced earliest-virtual-finish-time first, with
+  bounded priority-inversion bank scheduling.
+
+Quickstart::
+
+    from repro import run_workload, profile
+
+    result = run_workload([profile("vpr"), profile("art")], policy="FQ-VFTF")
+    for thread in result.threads:
+        print(thread.name, thread.ipc, thread.mean_read_latency)
+"""
+
+from .controller import AddressMap, MemoryController, MemoryRequest, RequestKind
+from .core import (
+    FQ_VFTF,
+    FR_FCFS,
+    FR_VFTF,
+    Policy,
+    VtmsState,
+    equal_shares,
+    get_policy,
+    weighted_shares,
+)
+from .cpu import CacheHierarchy, CoreConfig, OooCore, TraceRecord
+from .dram import DDR2Timing, DramSystem
+from .sim import (
+    CmpSystem,
+    SimResult,
+    SystemConfig,
+    ThreadResult,
+    coscheduled_pair,
+    run_solo,
+    run_workload,
+)
+from .stats import fair_share_targets, harmonic_mean, variance
+from .workloads import (
+    BENCHMARKS,
+    BenchmarkProfile,
+    SyntheticTraceGenerator,
+    TraceWorkload,
+    four_proc_workloads,
+    profile,
+    two_proc_pairs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressMap",
+    "BENCHMARKS",
+    "BenchmarkProfile",
+    "CacheHierarchy",
+    "CmpSystem",
+    "CoreConfig",
+    "DDR2Timing",
+    "DramSystem",
+    "FQ_VFTF",
+    "FR_FCFS",
+    "FR_VFTF",
+    "MemoryController",
+    "MemoryRequest",
+    "OooCore",
+    "Policy",
+    "RequestKind",
+    "SimResult",
+    "SyntheticTraceGenerator",
+    "SystemConfig",
+    "TraceWorkload",
+    "ThreadResult",
+    "TraceRecord",
+    "VtmsState",
+    "coscheduled_pair",
+    "equal_shares",
+    "fair_share_targets",
+    "four_proc_workloads",
+    "get_policy",
+    "harmonic_mean",
+    "profile",
+    "run_solo",
+    "run_workload",
+    "two_proc_pairs",
+    "variance",
+    "weighted_shares",
+    "__version__",
+]

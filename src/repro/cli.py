@@ -1,0 +1,147 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Examples::
+
+    repro-fqms figure1
+    repro-fqms figure5 --cycles 120000
+    repro-fqms ablations
+    repro-fqms all
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import (
+    run_figure1,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_pairs,
+    run_quads,
+)
+from .experiments.ablations import (
+    render_accounting_sweep,
+    render_buffer_sweep,
+    render_discipline_sweep,
+    render_inversion_sweep,
+    render_share_sweep,
+    sweep_buffers,
+    sweep_discipline,
+    sweep_inversion_bound,
+    sweep_shares,
+    sweep_vft_accounting,
+    sweep_write_drain,
+    render_write_drain_sweep,
+)
+from .sim.runner import DEFAULT_CYCLES
+
+FIGURES = ("figure1", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9")
+
+
+def _run_figure(name: str, cycles: int, seed: int):
+    if name == "figure1":
+        return run_figure1(cycles=cycles, seed=seed)
+    if name == "figure4":
+        return run_figure4(cycles=cycles, seed=seed)
+    if name in ("figure5", "figure6", "figure7"):
+        outcomes = run_pairs(cycles=cycles, seed=seed)
+        runner = {"figure5": run_figure5, "figure6": run_figure6, "figure7": run_figure7}
+        return runner[name](outcomes=outcomes)
+    if name in ("figure8", "figure9"):
+        outcomes = run_quads(cycles=cycles, seed=seed)
+        if name == "figure8":
+            return run_figure8(outcomes=outcomes)
+        return run_figure9(cycles=cycles, seed=seed, outcomes=outcomes)
+    raise ValueError(f"unknown figure {name!r}")
+
+
+def _figure_json(name: str, result) -> dict:
+    """Machine-readable dump of a figure result (dataclass rows only)."""
+    payload = {"figure": name}
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        if isinstance(value, list) and value and dataclasses.is_dataclass(value[0]):
+            payload[field.name] = [dataclasses.asdict(v) for v in value]
+        elif isinstance(value, (list, tuple)):
+            payload[field.name] = [
+                list(v) if isinstance(v, tuple) else v for v in value
+            ]
+    return payload
+
+
+def _run_ablations(cycles: int, seed: int) -> str:
+    sections = [
+        ("Ablation A: priority-inversion bound sweep",
+         render_inversion_sweep(sweep_inversion_bound(cycles=cycles, seed=seed))),
+        ("Ablation B: asymmetric service shares",
+         render_share_sweep(sweep_shares(cycles=cycles, seed=seed))),
+        ("Ablation C: buffer partition sizing",
+         render_buffer_sweep(sweep_buffers(cycles=cycles, seed=seed))),
+        ("Ablation D: deferred vs arrival-time finish-time computation",
+         render_accounting_sweep(sweep_vft_accounting(cycles=cycles, seed=seed))),
+        ("Ablation E: finish-time vs start-time priority",
+         render_discipline_sweep(sweep_discipline(cycles=cycles, seed=seed))),
+        ("Ablation F: write scheduling — FCFS vs watermark draining",
+         render_write_drain_sweep(sweep_write_drain(cycles=cycles, seed=seed))),
+    ]
+    return "\n\n".join(f"{title}\n{body}" for title, body in sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: regenerate figures/ablations; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fqms",
+        description="Fair Queuing Memory Systems (MICRO 2006) reproduction",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=FIGURES + ("ablations", "all"),
+        help="which evaluation artifact to regenerate",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=DEFAULT_CYCLES,
+        help=f"measurement window per run (default {DEFAULT_CYCLES}; "
+        "REPRO_SIM_CYCLES also honoured)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write machine-readable figure rows to this JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    targets = FIGURES + ("ablations",) if args.experiment == "all" else (args.experiment,)
+    json_payloads = []
+    for target in targets:
+        started = time.time()
+        if target == "ablations":
+            body = _run_ablations(args.cycles, args.seed)
+        else:
+            result = _run_figure(target, args.cycles, args.seed)
+            body = result.render()
+            json_payloads.append(_figure_json(target, result))
+        elapsed = time.time() - started
+        print(f"=== {target} ({elapsed:.0f}s) ===")
+        print(body)
+        print()
+    if args.json and json_payloads:
+        with open(args.json, "w") as handle:
+            json.dump(json_payloads, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Memory controller: buffers, bank/channel schedulers, address mapping."""
+
+from .address_map import AddressMap
+from .bank_scheduler import BankScheduler, CandidateCommand
+from .buffers import PartitionedBuffers
+from .channel_scheduler import ChannelScheduler
+from .controller import ControllerStats, MemoryController
+from .request import MemoryRequest, RequestKind
+
+__all__ = [
+    "AddressMap",
+    "BankScheduler",
+    "CandidateCommand",
+    "ChannelScheduler",
+    "ControllerStats",
+    "MemoryController",
+    "MemoryRequest",
+    "PartitionedBuffers",
+    "RequestKind",
+]

@@ -1,0 +1,326 @@
+"""Per-bank scheduler: request selection and command generation.
+
+Each SDRAM bank has a logical priority queue and a bank scheduler
+(paper §2.2, Figure 2).  Every cycle the bank scheduler nominates at
+most one candidate SDRAM command to the channel scheduler:
+
+* the next command of the pending request it currently favours
+  (activate for a closed bank, CAS for an open-row hit, precharge for
+  a conflict), or
+* a closed-page auto-precharge when the open row has no pending
+  accesses left.
+
+Under FR policies the favourite is recomputed every cycle with
+first-ready priority.  Under the FQ bank rule (paper §3.3) the bank
+commits to the earliest-virtual-finish-time request once the bank has
+been active for ``x`` cycles, bounding priority-inversion blocking
+time at the cost of some data-bus utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.policies import Policy
+from ..core.vtms import VtmsState
+from ..dram.commands import CommandType
+from ..dram.dram_system import DramSystem
+from .request import MemoryRequest
+
+
+@dataclass
+class CandidateCommand:
+    """A command a bank scheduler offers to the channel scheduler."""
+
+    kind: CommandType
+    rank: int
+    bank: int
+    row: int
+    ready: bool
+    #: Policy ordering key of the request being served (lower = higher
+    #: priority).  Auto-precharges sort after all request-driven work.
+    key: Tuple
+    request: Optional[MemoryRequest]
+    #: Thread charged for this command in the VTMS update (the request's
+    #: thread, or for auto-precharge the thread that opened the row).
+    charge_thread: Optional[int]
+    #: Arrival time a_i^k used by the VTMS update equations.
+    charge_arrival: float
+
+
+#: Ordering key that sorts auto-precharge candidates after any request.
+_AUTO_PRECHARGE_KEY = (float("inf"),)
+
+
+class BankScheduler:
+    """Scheduler and pending-request queue for one (rank, bank) pair."""
+
+    def __init__(
+        self,
+        rank: int,
+        bank: int,
+        dram: DramSystem,
+        policy: Policy,
+        vtms: Optional[VtmsState],
+        inversion_bound: int,
+        row_policy: str = "closed",
+    ):
+        if row_policy not in ("closed", "open"):
+            raise ValueError(f"row_policy must be 'closed' or 'open', got {row_policy!r}")
+        self.rank = rank
+        self.bank = bank
+        self.dram = dram
+        self.policy = policy
+        self.vtms = vtms
+        self.inversion_bound = inversion_bound
+        #: Flat (rank, bank) index into the per-thread VTMS bank
+        #: registers — distinct banks in distinct ranks are distinct
+        #: VTMS resources.
+        self.vtms_bank_index = rank * dram.num_banks + bank
+        #: "closed" precharges a row once its pending accesses drain
+        #: (the paper's choice); "open" leaves rows open until a
+        #: conflicting request or a refresh needs the bank.
+        self.row_policy = row_policy
+        #: Write-drain gating (set each cycle by the controller): when
+        #: False, write requests are held back so reads proceed without
+        #: bus-turnaround penalties.
+        self.writes_eligible = True
+        self.queue: List[MemoryRequest] = []
+        # Bookkeeping for charging auto-precharges to the thread that
+        # opened the row.
+        self.open_row_thread: Optional[int] = None
+        self.open_row_arrival: float = 0.0
+        #: Bumped when the bank's row state changes; finish-time
+        #: estimates depend on it through Table 3's service times.
+        self._row_epoch = 0
+        if policy.uses_vtms and vtms is None:
+            raise ValueError(f"policy {policy.name} requires VTMS state")
+
+    # -- queue management --------------------------------------------------
+
+    def add(self, request: MemoryRequest) -> None:
+        self.queue.append(request)
+
+    def remove(self, request: MemoryRequest) -> None:
+        self.queue.remove(request)
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _bank_state(self):
+        return self.dram.bank(self.rank, self.bank)
+
+    def _next_command_kind(self, request: MemoryRequest) -> CommandType:
+        """The first SDRAM command ``request`` needs in the current state."""
+        bank = self._bank_state()
+        if bank.open_row is None:
+            return CommandType.ACTIVATE
+        if bank.open_row == request.row:
+            return CommandType.READ if request.is_read else CommandType.WRITE
+        return CommandType.PRECHARGE
+
+    def _refresh_finish_times(self) -> None:
+        """Recompute each pending request's VFT from live VTMS registers.
+
+        Implements the paper's deferred finish-time computation: the
+        estimate uses the bank-state-dependent service time (Table 3)
+        and the thread's current registers, so it tracks the service
+        the thread has actually consumed.
+        """
+        bank = self._bank_state()
+        row_epoch = self._row_epoch
+        for request in self.queue:
+            thread = self.vtms[request.thread_id]
+            stamp = (thread.epoch, row_epoch)
+            if request.vft_stamp == stamp:
+                continue
+            service = bank.state_service_time(request.row)
+            request.virtual_start_time = thread.start_time_estimate(
+                self.vtms_bank_index
+            )
+            request.virtual_finish_time = thread.finish_time_estimate(
+                self.vtms_bank_index, service
+            )
+            request.vft_stamp = stamp
+
+    def _candidate_for(self, request: MemoryRequest, now: int) -> CandidateCommand:
+        kind = self._next_command_kind(request)
+        ready = self.dram.can_issue(kind, self.rank, self.bank, now)
+        charge_thread = request.thread_id
+        charge_arrival = request.virtual_arrival
+        if kind is CommandType.PRECHARGE and self.open_row_thread is not None:
+            # A conflict precharge closes a row some other thread may
+            # have opened; the VTMS charge goes to the row's owner.
+            charge_thread = self.open_row_thread
+            charge_arrival = self.open_row_arrival
+        return CandidateCommand(
+            kind=kind,
+            rank=self.rank,
+            bank=self.bank,
+            row=request.row,
+            ready=ready,
+            key=self.policy.request_key(request),
+            request=request,
+            charge_thread=charge_thread,
+            charge_arrival=charge_arrival,
+        )
+
+    def _auto_precharge(self, now: int) -> Optional[CandidateCommand]:
+        """Closed-page policy: close a row with no pending accesses."""
+        bank = self._bank_state()
+        if bank.open_row is None:
+            return None
+        ready = self.dram.can_issue(CommandType.PRECHARGE, self.rank, self.bank, now)
+        return CandidateCommand(
+            kind=CommandType.PRECHARGE,
+            rank=self.rank,
+            bank=self.bank,
+            row=bank.open_row,
+            ready=ready,
+            key=_AUTO_PRECHARGE_KEY,
+            request=None,
+            charge_thread=self.open_row_thread,
+            charge_arrival=self.open_row_arrival,
+        )
+
+    # -- candidate selection ---------------------------------------------------
+
+    def candidate(self, now: int, draining_for_refresh: bool = False) -> Optional[CandidateCommand]:
+        """Nominate this bank's best candidate command at cycle ``now``.
+
+        Args:
+            now: Current cycle.
+            draining_for_refresh: When a refresh is due the controller
+                stops opening new rows and precharges idle open rows so
+                the refresh can start.
+        """
+        bank = self._bank_state()
+        if (
+            self.policy.uses_vtms
+            and not self.policy.arrival_accounting
+            and self.queue
+        ):
+            self._refresh_finish_times()
+
+        # Write-drain gating: when writes are held back, schedule as if
+        # only the reads were queued.
+        if self.writes_eligible:
+            visible = self.queue
+        else:
+            visible = [r for r in self.queue if r.is_read]
+
+        has_row_work = bank.open_row is not None and any(
+            r.row == bank.open_row for r in visible
+        )
+        if not visible or (bank.open_row is not None and not has_row_work):
+            # Row exhausted (or queue empty): close it under the
+            # closed-page policy, or when a refresh needs the banks.
+            if self.row_policy == "closed" or draining_for_refresh:
+                auto = self._auto_precharge(now)
+                if auto is not None and not visible:
+                    return auto
+            # With conflicting requests queued, fall through: the
+            # winning request's own precharge carries its priority.
+
+        if not visible:
+            return None
+
+        if draining_for_refresh and bank.open_row is None:
+            # Hold activates while a refresh is waiting to start.
+            return None
+
+        if (
+            self.policy.fq_bank_rule
+            and bank.open_row is not None
+            and now - bank.last_activate >= self.inversion_bound
+        ):
+            # FQ bank rule: commit to the earliest-virtual-finish-time
+            # request and wait for its first command to become ready,
+            # even if other requests (e.g. row hits) are ready now.
+            chosen = min(visible, key=self.policy.request_key)
+            return self._candidate_for(chosen, now)
+
+        # First-ready selection: prefer ready commands, then CAS over
+        # RAS, then the policy's ordering key.
+        best: Optional[CandidateCommand] = None
+        best_sort: Optional[Tuple] = None
+        for request in visible:
+            cand = self._candidate_for(request, now)
+            sort = (not cand.ready, not cand.kind.is_cas, cand.key)
+            if best_sort is None or sort < best_sort:
+                best, best_sort = cand, sort
+        return best
+
+    def earliest_possible_issue(self, now: int) -> Optional[int]:
+        """Earliest future cycle any of this bank's candidates could issue.
+
+        Used by the controller's sleep logic: absent new arrivals and
+        issues elsewhere, no command of this bank can become ready
+        before the returned cycle.  ``None`` when the bank has nothing
+        to do.
+        """
+        bank = self._bank_state()
+
+        if (
+            self.policy.fq_bank_rule
+            and bank.open_row is not None
+            and self.queue
+        ):
+            switch = bank.last_activate + self.inversion_bound
+            if now >= switch:
+                # Committed mode: only the earliest-virtual-finish-time
+                # request's first command can issue from this bank.
+                chosen = min(self.queue, key=self.policy.request_key)
+                t = self.dram.earliest_issue(
+                    self._next_command_kind(chosen), self.rank, self.bank
+                )
+                if t is None:
+                    return None
+                return max(t, now + 1)
+            # First-ready until the inversion bound expires; the mode
+            # switch itself is a wake-worthy event.
+            first_ready = self._first_ready_earliest(now)
+            if first_ready is None:
+                return max(switch, now + 1)
+            return max(min(first_ready, switch), now + 1)
+
+        earliest = self._first_ready_earliest(now)
+        if earliest is None:
+            return None
+        return max(earliest, now + 1)
+
+    def _first_ready_earliest(self, now: int) -> Optional[int]:
+        """Min earliest-issue over every candidate command of this bank."""
+        bank = self._bank_state()
+        earliest: Optional[int] = None
+
+        def consider(kind: CommandType) -> None:
+            nonlocal earliest
+            t = self.dram.earliest_issue(kind, self.rank, self.bank)
+            if t is not None and (earliest is None or t < earliest):
+                earliest = t
+
+        for request in self.queue:
+            consider(self._next_command_kind(request))
+        if bank.open_row is not None and not any(
+            r.row == bank.open_row for r in self.queue
+        ):
+            consider(CommandType.PRECHARGE)
+        return earliest
+
+    # -- issue notification -------------------------------------------------
+
+    def on_issue(self, cand: CandidateCommand, now: int) -> None:
+        """Update bookkeeping after the channel scheduler issues ``cand``."""
+        if cand.kind is CommandType.ACTIVATE and cand.request is not None:
+            self.open_row_thread = cand.request.thread_id
+            self.open_row_arrival = cand.request.virtual_arrival
+            self._row_epoch += 1
+        elif cand.kind is CommandType.PRECHARGE:
+            self.open_row_thread = None
+            self._row_epoch += 1
+        elif cand.kind.is_cas and cand.request is not None:
+            self.queue.remove(cand.request)

@@ -1,0 +1,76 @@
+"""Per-thread partitioned controller buffers with NACK back-pressure.
+
+The paper statically partitions the memory controller's transaction
+buffer (16 entries per thread) and write buffer (8 entries per
+thread).  When a thread's partition is full the controller NACKs new
+requests from that thread, applying back-pressure to that thread
+*independently* of the other threads on the CMP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .request import MemoryRequest, RequestKind
+
+
+class PartitionedBuffers:
+    """Occupancy accounting for the transaction and write buffers."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        read_entries_per_thread: int = 16,
+        write_entries_per_thread: int = 8,
+    ):
+        if num_threads <= 0:
+            raise ValueError(f"need at least one thread, got {num_threads}")
+        if read_entries_per_thread <= 0 or write_entries_per_thread <= 0:
+            raise ValueError("buffer partitions must hold at least one entry")
+        self.num_threads = num_threads
+        self.read_capacity = read_entries_per_thread
+        self.write_capacity = write_entries_per_thread
+        self._reads: Dict[int, int] = {t: 0 for t in range(num_threads)}
+        self._writes: Dict[int, int] = {t: 0 for t in range(num_threads)}
+        self.nack_count: Dict[int, int] = {t: 0 for t in range(num_threads)}
+
+    def _counts(self, kind: RequestKind) -> Dict[int, int]:
+        return self._reads if kind is RequestKind.READ else self._writes
+
+    def _capacity(self, kind: RequestKind) -> int:
+        return self.read_capacity if kind is RequestKind.READ else self.write_capacity
+
+    def can_accept(self, thread_id: int, kind: RequestKind) -> bool:
+        """True when thread ``thread_id`` has a free entry for ``kind``."""
+        return self._counts(kind)[thread_id] < self._capacity(kind)
+
+    def reserve(self, request: MemoryRequest) -> bool:
+        """Claim an entry for ``request``; False (a NACK) when full."""
+        counts = self._counts(request.kind)
+        if counts[request.thread_id] >= self._capacity(request.kind):
+            self.nack_count[request.thread_id] += 1
+            return False
+        counts[request.thread_id] += 1
+        return True
+
+    def release(self, request: MemoryRequest) -> None:
+        """Free the entry held by a completed ``request``."""
+        counts = self._counts(request.kind)
+        if counts[request.thread_id] <= 0:
+            raise ValueError(
+                f"release without reserve: thread {request.thread_id} "
+                f"{request.kind.value}"
+            )
+        counts[request.thread_id] -= 1
+
+    def occupancy(self, thread_id: int, kind: RequestKind) -> int:
+        return self._counts(kind)[thread_id]
+
+    def total_occupancy(self) -> int:
+        return sum(self._reads.values()) + sum(self._writes.values())
+
+    def total_reads(self) -> int:
+        return sum(self._reads.values())
+
+    def total_writes(self) -> int:
+        return sum(self._writes.values())

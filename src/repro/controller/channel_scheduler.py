@@ -1,0 +1,37 @@
+"""Channel scheduler: arbitration across banks' candidate commands.
+
+The channel scheduler scans the banks' nominated commands each cycle
+and issues the ready command with the highest priority (paper §2.2).
+It uses the same priority levels as the bank schedulers: CAS commands
+before RAS commands, then the policy's ordering key.  Channel-level
+timing (address bus, data bus, t_ccd, t_wtr, t_rrd) has already been
+folded into each candidate's readiness by the DRAM model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .bank_scheduler import BankScheduler, CandidateCommand
+
+
+class ChannelScheduler:
+    """Selects one ready command per cycle from the bank schedulers."""
+
+    def __init__(self, bank_schedulers: Iterable[BankScheduler]):
+        self.bank_schedulers = list(bank_schedulers)
+
+    def select(
+        self, now: int, draining_for_refresh: bool = False
+    ) -> Optional[CandidateCommand]:
+        """The highest-priority ready candidate at cycle ``now``, if any."""
+        best: Optional[CandidateCommand] = None
+        best_sort = None
+        for scheduler in self.bank_schedulers:
+            cand = scheduler.candidate(now, draining_for_refresh)
+            if cand is None or not cand.ready:
+                continue
+            sort = (not cand.kind.is_cas, cand.key)
+            if best_sort is None or sort < best_sort:
+                best, best_sort = cand, sort
+        return best

@@ -1,0 +1,413 @@
+"""The memory controller: buffers, schedulers, VTMS, statistics.
+
+Ties together the paper's Figure 2 (transaction/write buffers, bank
+schedulers, channel scheduler) and Figure 3 (per-thread VTMS registers
+and finish-time logic).  The controller accepts cache-line requests
+from the cores, NACKs a thread whose buffer partition is full, runs
+one scheduling decision per cycle, and reports completed reads back to
+the system.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque, namedtuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.policies import FR_FCFS, Policy
+from ..core.shares import equal_shares, validate_shares
+from ..core.vtms import VtmsState
+from ..dram.commands import CommandType
+from ..dram.dram_system import DramSystem
+from .address_map import AddressMap
+from .bank_scheduler import BankScheduler, CandidateCommand
+from .buffers import PartitionedBuffers
+from .channel_scheduler import ChannelScheduler
+from .request import MemoryRequest
+
+
+class ControllerStats:
+    """Raw counters the metrics layer turns into paper numbers."""
+
+    #: Power-of-two read-latency bucket boundaries (cycles).
+    LATENCY_BUCKETS = (128, 256, 512, 1024, 2048, 4096)
+
+    def __init__(self, num_threads: int):
+        self.read_latency_sum = [0] * num_threads
+        self.read_count = [0] * num_threads
+        self.prefetch_count = [0] * num_threads
+        self.write_count = [0] * num_threads
+        self.cas_cycles = [0] * num_threads
+        self.requests_accepted = [0] * num_threads
+        self.requests_nacked = [0] * num_threads
+        self.commands_issued: Dict[CommandType, int] = {k: 0 for k in CommandType}
+        #: Per-thread histogram: bucket i counts latencies <= bound i,
+        #: with one trailing overflow bucket.
+        self.latency_histogram = [
+            [0] * (len(self.LATENCY_BUCKETS) + 1) for _ in range(num_threads)
+        ]
+
+    def mean_read_latency(self, thread_id: int) -> float:
+        if self.read_count[thread_id] == 0:
+            return 0.0
+        return self.read_latency_sum[thread_id] / self.read_count[thread_id]
+
+    def record_latency(self, thread_id: int, latency: int) -> None:
+        for i, bound in enumerate(self.LATENCY_BUCKETS):
+            if latency <= bound:
+                self.latency_histogram[thread_id][i] += 1
+                return
+        self.latency_histogram[thread_id][-1] += 1
+
+    def latency_percentile(self, thread_id: int, fraction: float) -> int:
+        """Upper bound of the bucket containing the given percentile.
+
+        Returns the overflow marker (last bucket bound doubled) when the
+        percentile lies beyond the tracked range.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        histogram = self.latency_histogram[thread_id]
+        total = sum(histogram)
+        if total == 0:
+            return 0
+        needed = fraction * total
+        seen = 0
+        for i, count in enumerate(histogram):
+            seen += count
+            if seen >= needed:
+                if i < len(self.LATENCY_BUCKETS):
+                    return self.LATENCY_BUCKETS[i]
+                return self.LATENCY_BUCKETS[-1] * 2
+        return self.LATENCY_BUCKETS[-1] * 2
+
+
+#: One entry of the optional command log: what issued, where, when,
+#: and on behalf of which thread (None for auto-precharges of unowned
+#: rows).
+LoggedCommand = namedtuple(
+    "LoggedCommand", ["cycle", "kind", "rank", "bank", "row", "thread"]
+)
+
+
+class MemoryController:
+    """A multi-thread DDR2 memory controller with pluggable scheduling."""
+
+    def __init__(
+        self,
+        dram: DramSystem,
+        address_map: AddressMap,
+        num_threads: int,
+        policy: Policy = FR_FCFS,
+        shares: Optional[Sequence[float]] = None,
+        read_entries_per_thread: int = 16,
+        write_entries_per_thread: int = 8,
+        row_policy: str = "closed",
+        write_drain: str = "fcfs",
+    ):
+        if write_drain not in ("fcfs", "watermark"):
+            raise ValueError(
+                f"write_drain must be 'fcfs' or 'watermark', got {write_drain!r}"
+            )
+        self.dram = dram
+        self.address_map = address_map
+        self.num_threads = num_threads
+        self.policy = policy
+        self.buffers = PartitionedBuffers(
+            num_threads, read_entries_per_thread, write_entries_per_thread
+        )
+        if shares is None:
+            shares = equal_shares(num_threads)
+        self.shares = validate_shares(shares)
+        self.vtms: Optional[VtmsState] = None
+        if policy.uses_vtms:
+            # One VTMS bank register per (rank, bank) pair.
+            self.vtms = VtmsState(
+                self.shares, dram.num_banks * dram.num_ranks, dram.timing
+            )
+        bound = policy.inversion_bound
+        if bound is None:
+            bound = dram.timing.t_ras
+        self.bank_schedulers: List[BankScheduler] = [
+            BankScheduler(
+                rank, bank.index, dram, policy, self.vtms, bound,
+                row_policy=row_policy,
+            )
+            for rank, bank in dram.iter_banks()
+        ]
+        self._scheduler_index = {
+            (s.rank, s.bank): s for s in self.bank_schedulers
+        }
+        self.channel_scheduler = ChannelScheduler(self.bank_schedulers)
+        self.stats = ControllerStats(num_threads)
+        #: Min-heap of (completion_time, seq, request) for in-flight data.
+        self._in_flight: List[Tuple[int, int, MemoryRequest]] = []
+        #: Scheduling sleep: no command can become ready before this
+        #: cycle unless a new request arrives (which resets it).
+        self._sleep_until = 0
+        #: Optional bounded trace of issued commands (debug/analysis).
+        self.command_log: Optional[deque] = None
+        #: Write-drain policy: "fcfs" schedules writes like reads (the
+        #: paper's behaviour); "watermark" holds writebacks until the
+        #: write buffers fill past a high watermark (or no reads are
+        #: pending), then drains them in a burst to the low watermark —
+        #: trading write latency for fewer bus turnarounds.
+        self.write_drain = write_drain
+        total_write_capacity = write_entries_per_thread * num_threads
+        self._drain_high = max(1, int(total_write_capacity * 0.75))
+        self._drain_low = max(0, int(total_write_capacity * 0.25))
+        self._drain_active = False
+        #: Pending (queued but not CAS-issued) requests per thread, for
+        #: Ra_i maintenance and occupancy queries.
+        self._pending: List[Set[MemoryRequest]] = [set() for _ in range(num_threads)]
+        self.now = 0
+
+    # -- request entry ---------------------------------------------------
+
+    def try_enqueue(self, request: MemoryRequest) -> bool:
+        """Accept ``request`` at the current cycle, or NACK (return False).
+
+        On acceptance the request is decoded to SDRAM coordinates and
+        placed in its bank scheduler's queue.
+        """
+        if not self.buffers.reserve(request):
+            self.stats.requests_nacked[request.thread_id] += 1
+            return False
+        request.arrival_time = self.now
+        request.rank, request.bank, request.row, request.column = (
+            self.address_map.decode(request.address)
+        )
+        if self.vtms is not None:
+            request.virtual_arrival = self.vtms.clock
+        else:
+            request.virtual_arrival = float(self.now)
+        if self.vtms is not None and self.policy.arrival_accounting:
+            # §3.2 solution 1: fix the finish-time now from an assumed
+            # average bank service; no per-command updates later.
+            flat_bank = request.rank * self.dram.num_banks + request.bank
+            request.virtual_finish_time = self.vtms[
+                request.thread_id
+            ].on_request_arrival(
+                flat_bank,
+                request.virtual_arrival,
+                self.dram.timing.service_closed,
+            )
+        self._scheduler_index[(request.rank, request.bank)].add(request)
+        self._pending[request.thread_id].add(request)
+        self._refresh_oldest_arrival(request.thread_id)
+        self.stats.requests_accepted[request.thread_id] += 1
+        self._sleep_until = 0
+        return True
+
+    def _refresh_oldest_arrival(self, thread_id: int) -> None:
+        if self.vtms is None:
+            return
+        pending = self._pending[thread_id]
+        oldest = min((r.virtual_arrival for r in pending), default=None)
+        self.vtms.set_oldest_arrival(thread_id, oldest)
+
+    # -- occupancy queries (used by cores for back-pressure) -----------------
+
+    def pending_requests(self, thread_id: int) -> int:
+        return len(self._pending[thread_id])
+
+    def has_work(self) -> bool:
+        """True when any request is queued or data is in flight."""
+        return bool(self._in_flight) or any(self._pending[t] for t in range(self.num_threads))
+
+    # -- per-cycle scheduling --------------------------------------------------
+
+    def tick(self, now: int) -> List[MemoryRequest]:
+        """Run one controller cycle; return reads whose data completed."""
+        self.now = now
+        completed = self._pop_completed(now)
+        in_refresh = self.dram.in_refresh(now)
+
+        if not in_refresh:
+            draining = self.dram.refresh_due(now)
+            if draining and self.dram.try_start_refresh(now):
+                # Nothing can issue until the refresh completes, and the
+                # start cycle itself counts as a refresh cycle.
+                self._sleep_until = self.dram.refresh_end or now
+                in_refresh = True
+            else:
+                if self._update_write_drain():
+                    # Eligibility flipped: previously computed sleep no
+                    # longer describes the candidate set.
+                    self._sleep_until = 0
+                if now >= self._sleep_until:
+                    cand = self.channel_scheduler.select(
+                        now, draining_for_refresh=draining
+                    )
+                    if cand is not None:
+                        self._issue(cand, now)
+                        self._sleep_until = 0
+                    else:
+                        self._sleep_until = self._compute_sleep(now)
+
+        if self.vtms is not None:
+            self.vtms.tick(in_refresh=in_refresh)
+        return completed
+
+    def _update_write_drain(self) -> bool:
+        """Refresh the write-drain gate; True when eligibility flipped."""
+        if self.write_drain == "fcfs":
+            return False
+        writes = self.buffers.total_writes()
+        reads = self.buffers.total_reads()
+        if self._drain_active:
+            if writes <= self._drain_low:
+                self._drain_active = False
+        elif writes >= self._drain_high:
+            self._drain_active = True
+        eligible = self._drain_active or reads == 0
+        if eligible == self.bank_schedulers[0].writes_eligible:
+            return False
+        for scheduler in self.bank_schedulers:
+            scheduler.writes_eligible = eligible
+        return True
+
+    def _compute_sleep(self, now: int) -> int:
+        """First future cycle a command could become ready (no arrivals)."""
+        wake: Optional[int] = None
+        for scheduler in self.bank_schedulers:
+            t = scheduler.earliest_possible_issue(now)
+            if t is not None and (wake is None or t < wake):
+                wake = t
+        if wake is None:
+            # No queued work at all: sleep until something arrives
+            # (arrival resets the sleep) or a refresh falls due.
+            wake = now + self.dram.timing.t_refi
+        if self.dram.enable_refresh and self.dram.next_refresh_due is not None:
+            wake = min(wake, max(now + 1, self.dram.next_refresh_due))
+        return wake
+
+    def enable_command_log(self, capacity: int = 10_000) -> None:
+        """Start recording issued commands (bounded ring buffer)."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.command_log = deque(maxlen=capacity)
+
+    def _issue(self, cand: CandidateCommand, now: int) -> None:
+        self.dram.issue(cand.kind, cand.rank, cand.bank, cand.row, now)
+        self.stats.commands_issued[cand.kind] += 1
+        if self.command_log is not None:
+            self.command_log.append(
+                LoggedCommand(
+                    cycle=now,
+                    kind=cand.kind,
+                    rank=cand.rank,
+                    bank=cand.bank,
+                    row=cand.row,
+                    thread=cand.charge_thread,
+                )
+            )
+        scheduler = self._scheduler_index[(cand.rank, cand.bank)]
+        scheduler.on_issue(cand, now)
+
+        if (
+            self.vtms is not None
+            and cand.charge_thread is not None
+            and not self.policy.arrival_accounting
+        ):
+            flat_bank = cand.rank * self.dram.num_banks + cand.bank
+            self.vtms[cand.charge_thread].on_command_issued(
+                cand.kind, flat_bank, cand.charge_arrival
+            )
+
+        request = cand.request
+        if request is not None and cand.kind.is_cas:
+            request.cas_issued_at = now
+            if cand.kind is CommandType.READ:
+                done = self.dram.read_data_available(now)
+                if request.prefetch:
+                    self.stats.prefetch_count[request.thread_id] += 1
+                else:
+                    self.stats.read_count[request.thread_id] += 1
+            else:
+                done = self.dram.write_data_done(now)
+                self.stats.write_count[request.thread_id] += 1
+            self.stats.cas_cycles[request.thread_id] += self.dram.timing.burst
+            request.completed_at = done
+            heapq.heappush(self._in_flight, (done, request.seq, request))
+            self._pending[request.thread_id].discard(request)
+            self._refresh_oldest_arrival(request.thread_id)
+
+    def _pop_completed(self, now: int) -> List[MemoryRequest]:
+        completed: List[MemoryRequest] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            _, _, request = heapq.heappop(self._in_flight)
+            self.buffers.release(request)
+            if request.is_read:
+                if not request.prefetch:
+                    latency = request.latency()
+                    self.stats.read_latency_sum[request.thread_id] += latency
+                    self.stats.record_latency(request.thread_id, latency)
+                completed.append(request)
+        return completed
+
+    # -- idle fast-forward support ---------------------------------------------
+
+    def next_event_time(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which the controller might act.
+
+        Used by the simulation loop to skip quiescent stretches.  A
+        conservative answer (too early) is always safe; ``None`` means
+        the controller is fully idle.
+        """
+        candidates: List[int] = []
+        if self._in_flight:
+            candidates.append(self._in_flight[0][0])
+        busy = any(self._pending[t] for t in range(self.num_threads)) or any(
+            bank.is_open for _, bank in self.dram.iter_banks()
+        )
+        if busy:
+            # The scheduling sleep (set by the last tick) bounds when a
+            # command could next become ready.
+            if self._sleep_until > now + 1:
+                candidates.append(self._sleep_until)
+            else:
+                candidates.append(now + 1)
+        if self.dram.enable_refresh and self.dram.next_refresh_due is not None:
+            candidates.append(max(now + 1, self.dram.next_refresh_due))
+        if self.dram.refresh_end is not None and self.dram.refresh_end > now:
+            candidates.append(self.dram.refresh_end)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def skip_cycles(self, now: int, target: int) -> None:
+        """Fast-forward the controller clock from ``now`` to ``target``.
+
+        Only legal while the controller is quiescent.  The FQ real
+        clock advances by the skipped span minus any overlap with an
+        in-progress refresh (the clock freezes during refresh).
+        """
+        if target <= now:
+            return
+        if self.vtms is not None:
+            skipped = target - now
+            refresh_end = self.dram.refresh_end
+            if refresh_end is not None and refresh_end > now:
+                skipped -= min(refresh_end, target) - now
+            self.vtms.clock += skipped
+        self.now = target
+
+    # -- reporting ----------------------------------------------------------------
+
+    def data_bus_utilization(self, cycles: int) -> float:
+        return self.dram.channel.utilization(cycles)
+
+    def thread_bus_utilization(self, thread_id: int, cycles: int) -> float:
+        if cycles <= 0:
+            return 0.0
+        return self.stats.cas_cycles[thread_id] / cycles
+
+    def bank_utilization(self, cycles: int) -> float:
+        """Mean fraction of time banks spend between activate and precharge."""
+        if cycles <= 0:
+            return 0.0
+        total = sum(
+            bank.busy_cycles_at(self.now) for _, bank in self.dram.iter_banks()
+        )
+        return total / (cycles * self.dram.num_banks * self.dram.num_ranks)

@@ -1,0 +1,32 @@
+"""The paper's contribution: VTMS accounting and FQ scheduling policies."""
+
+from .policies import (
+    FQ_VFTF,
+    FQ_VFTF_ARR,
+    FQ_VSTF,
+    FR_FCFS,
+    FR_VFTF,
+    POLICIES,
+    Policy,
+    fq_vftf_with_bound,
+    get_policy,
+)
+from .shares import equal_shares, validate_shares, weighted_shares
+from .vtms import ThreadVtms, VtmsState
+
+__all__ = [
+    "FQ_VFTF",
+    "FQ_VFTF_ARR",
+    "FQ_VSTF",
+    "FR_FCFS",
+    "FR_VFTF",
+    "POLICIES",
+    "Policy",
+    "ThreadVtms",
+    "VtmsState",
+    "equal_shares",
+    "fq_vftf_with_bound",
+    "get_policy",
+    "validate_shares",
+    "weighted_shares",
+]

@@ -1,0 +1,50 @@
+"""Service-share allocation helpers.
+
+The FQ scheduler's control registers give each hardware thread a
+fraction φᵢ of the memory system.  The paper's evaluation statically
+allocates equal shares (φ = 1/N), but the registers could equally be
+written by an OS or VMM; these helpers model both styles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def equal_shares(num_threads: int) -> List[float]:
+    """φᵢ = 1/N for every thread — the paper's desktop configuration."""
+    if num_threads <= 0:
+        raise ValueError(f"need at least one thread, got {num_threads}")
+    return [1.0 / num_threads] * num_threads
+
+
+def validate_shares(shares: Sequence[float]) -> List[float]:
+    """Check that shares are positive and sum to at most one.
+
+    An EDF schedule meets all VTMS deadlines only when the shares of
+    each resource sum to at most one (paper §3, citing Chetto &
+    Chetto), so over-subscription is rejected.
+    """
+    if not shares:
+        raise ValueError("shares must be non-empty")
+    for i, share in enumerate(shares):
+        if not 0.0 < share <= 1.0:
+            raise ValueError(f"share for thread {i} must be in (0, 1], got {share}")
+    if sum(shares) > 1.0 + 1e-9:
+        raise ValueError(f"shares sum to {sum(shares):.4f} > 1; memory over-subscribed")
+    return list(shares)
+
+
+def weighted_shares(weights: Sequence[float]) -> List[float]:
+    """Normalize arbitrary positive weights into shares summing to one.
+
+    This is how an OS scheduler would translate priorities into memory
+    shares, e.g. ``weighted_shares([3, 1])`` → ``[0.75, 0.25]``.
+    """
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    for i, weight in enumerate(weights):
+        if weight <= 0:
+            raise ValueError(f"weight for thread {i} must be positive, got {weight}")
+    total = float(sum(weights))
+    return [w / total for w in weights]

@@ -1,0 +1,24 @@
+"""Processor substrate: traces, caches, and the out-of-order core model."""
+
+from .cache import Cache, CacheConfig, L1D_CONFIG, L1I_CONFIG, L2_CONFIG, MshrFile
+from .core_model import CoreConfig, CoreStats, OooCore
+from .hierarchy import AccessResult, CacheHierarchy
+from .trace import TraceRecord, read_trace, trace_from_list, write_trace
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CoreConfig",
+    "CoreStats",
+    "L1D_CONFIG",
+    "L1I_CONFIG",
+    "L2_CONFIG",
+    "MshrFile",
+    "OooCore",
+    "TraceRecord",
+    "read_trace",
+    "trace_from_list",
+    "write_trace",
+]

@@ -1,0 +1,121 @@
+"""Private per-core cache hierarchy (paper Table 5).
+
+Each core owns an L1 instruction cache, an L1 data cache, and a
+private 512KB L2.  The memory system is the only shared resource, as
+in the paper's methodology.  Demand accesses flow L1D → L2 → memory;
+dirty evictions propagate down and ultimately become writeback
+requests to the memory controller.
+
+Traces are *L1-filtered* (see :mod:`repro.cpu.trace`), so the common
+entry point is :meth:`access`, which probes the L2 directly and
+charges the L2 latency on a hit.  The unfiltered path
+(:meth:`access_unfiltered`) exercises the L1D as well and is used by
+unit tests and by unfiltered trace workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .cache import Cache, CacheConfig, L1D_CONFIG, L1I_CONFIG, L2_CONFIG
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a hierarchy probe.
+
+    Attributes:
+        hit_level: "l1", "l2", or None for a memory access.
+        latency: Load-to-use latency for hits; None when the line must
+            come from memory.
+        line: The line address probed.
+    """
+
+    hit_level: Optional[str]
+    latency: Optional[int]
+    line: int
+
+
+class CacheHierarchy:
+    """L1I + L1D + private L2 for one core."""
+
+    def __init__(
+        self,
+        l1i: CacheConfig = L1I_CONFIG,
+        l1d: CacheConfig = L1D_CONFIG,
+        l2: CacheConfig = L2_CONFIG,
+    ):
+        if not (l1i.line_bytes == l1d.line_bytes == l2.line_bytes):
+            raise ValueError("all levels must share one line size")
+        self.line_bytes = l2.line_bytes
+        self._offset_bits = l2.line_bytes.bit_length() - 1
+        self.l1i = Cache(l1i)
+        self.l1d = Cache(l1d)
+        self.l2 = Cache(l2)
+        #: Dirty lines evicted from the L2, waiting to become writeback
+        #: requests to the memory controller.
+        self.pending_writebacks: List[int] = []
+
+    def line_of(self, address: int) -> int:
+        return address >> self._offset_bits
+
+    def line_address(self, line: int) -> int:
+        return line << self._offset_bits
+
+    # -- filtered path (L2 probe) ------------------------------------------
+
+    def access(self, address: int, is_write: bool) -> AccessResult:
+        """Probe the L2 with an L1-filtered reference."""
+        line = self.line_of(address)
+        if self.l2.lookup(line, mark_dirty=is_write):
+            return AccessResult("l2", self.l2.config.latency, line)
+        return AccessResult(None, None, line)
+
+    # -- unfiltered path (L1D then L2) ---------------------------------------
+
+    def access_unfiltered(self, address: int, is_write: bool) -> AccessResult:
+        """Probe L1D then L2 with a raw reference."""
+        line = self.line_of(address)
+        if self.l1d.lookup(line, mark_dirty=is_write):
+            return AccessResult("l1", self.l1d.config.latency, line)
+        if self.l2.lookup(line, mark_dirty=False):
+            self._fill_l1(line, dirty=is_write)
+            return AccessResult("l2", self.l2.config.latency, line)
+        return AccessResult(None, None, line)
+
+    def _fill_l1(self, line: int, dirty: bool) -> None:
+        evicted = self.l1d.fill(line, dirty=dirty)
+        if evicted is not None:
+            victim, victim_dirty = evicted
+            if victim_dirty and self.l2.contains(victim):
+                self.l2.lookup(victim, mark_dirty=True)
+
+    # -- fills from memory ------------------------------------------------------
+
+    def fill_from_memory(self, line: int, dirty: bool, filtered: bool = True) -> None:
+        """Install a returned line; queue any dirty L2 victim for writeback.
+
+        Args:
+            line: The line address being filled.
+            dirty: Whether the triggering access was a store (the line
+                is installed dirty, to be written back on eviction).
+            filtered: Filtered traces bypass the L1D.
+        """
+        evicted = self.l2.fill(line, dirty=dirty)
+        if evicted is not None:
+            victim, victim_dirty = evicted
+            self.l1d.invalidate(victim)
+            if victim_dirty:
+                self.pending_writebacks.append(victim)
+        if not filtered:
+            self._fill_l1(line, dirty=dirty)
+
+    def pop_writeback(self) -> Optional[int]:
+        """Take one queued writeback line, oldest first."""
+        if self.pending_writebacks:
+            return self.pending_writebacks.pop(0)
+        return None
+
+    def writeback_pressure(self) -> int:
+        return len(self.pending_writebacks)

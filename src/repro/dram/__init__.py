@@ -1,0 +1,19 @@
+"""DDR2 SDRAM device model: timing, banks, ranks, channel, refresh."""
+
+from .bank import Bank, IllegalCommandError
+from .channel import Channel
+from .commands import Command, CommandType
+from .dram_system import DramSystem
+from .rank import Rank
+from .timing import DDR2Timing
+
+__all__ = [
+    "Bank",
+    "Channel",
+    "Command",
+    "CommandType",
+    "DramSystem",
+    "DDR2Timing",
+    "IllegalCommandError",
+    "Rank",
+]

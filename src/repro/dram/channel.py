@@ -1,0 +1,71 @@
+"""Channel-level SDRAM constraints: address bus, data bus, CAS spacing.
+
+The channel scheduler must guarantee that at most one command uses the
+address bus per cycle, that data bursts never overlap on the shared
+data bus, and that consecutive CAS commands respect ``t_ccd``.
+"""
+
+from __future__ import annotations
+
+from .bank import _LONG_AGO
+from .commands import CommandType
+from .timing import DDR2Timing
+
+
+class Channel:
+    """Shared command/data bus state for one memory channel."""
+
+    def __init__(self, timing: DDR2Timing):
+        self.timing = timing
+        self.last_command = _LONG_AGO
+        self.last_cas = _LONG_AGO
+        #: First cycle the data bus is free after all reserved bursts.
+        self.data_bus_free = 0
+        #: Total data-bus busy cycles (for utilization statistics).
+        self.data_busy_cycles = 0
+        #: Total CAS commands carried (reads + writes).
+        self.cas_count = 0
+        self.read_count = 0
+        self.write_count = 0
+
+    def _data_offset(self, kind: CommandType) -> int:
+        """Cycles between CAS issue and first data-bus beat."""
+        if kind is CommandType.READ:
+            return self.timing.t_cl
+        return self.timing.t_wl
+
+    def earliest_issue(self, kind: CommandType) -> int:
+        """Channel-level earliest legal cycle for ``kind``."""
+        earliest = self.last_command + 1
+        if kind.is_cas:
+            earliest = max(
+                earliest,
+                self.last_cas + self.timing.t_ccd,
+                self.data_bus_free - self._data_offset(kind),
+            )
+        return earliest
+
+    def issue(self, kind: CommandType, now: int) -> None:
+        """Record ``kind`` issuing at ``now`` on this channel."""
+        if now < self.earliest_issue(kind):
+            raise ValueError(
+                f"channel: {kind.value} at {now} violates channel timing "
+                f"(earliest legal {self.earliest_issue(kind)})"
+            )
+        self.last_command = now
+        if kind.is_cas:
+            self.last_cas = now
+            start = now + self._data_offset(kind)
+            self.data_bus_free = start + self.timing.burst
+            self.data_busy_cycles += self.timing.burst
+            self.cas_count += 1
+            if kind is CommandType.READ:
+                self.read_count += 1
+            else:
+                self.write_count += 1
+
+    def utilization(self, cycles: int) -> float:
+        """Data-bus utilization over ``cycles`` relative to peak bandwidth."""
+        if cycles <= 0:
+            return 0.0
+        return self.data_busy_cycles / cycles

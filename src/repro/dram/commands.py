@@ -1,0 +1,54 @@
+"""SDRAM command vocabulary.
+
+The paper groups *read*/*write* as **CAS commands** and
+*activate*/*precharge* as **RAS commands**; refresh is issued by the
+controller's refresh engine, never by a bank scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommandType(enum.Enum):
+    """The five SDRAM commands the model issues."""
+
+    ACTIVATE = "activate"
+    PRECHARGE = "precharge"
+    READ = "read"
+    WRITE = "write"
+    REFRESH = "refresh"
+
+    @property
+    def is_cas(self) -> bool:
+        """True for column (data-moving) commands."""
+        return self in (CommandType.READ, CommandType.WRITE)
+
+    @property
+    def is_ras(self) -> bool:
+        """True for row (bank-management) commands."""
+        return self in (CommandType.ACTIVATE, CommandType.PRECHARGE)
+
+
+@dataclass
+class Command:
+    """A single SDRAM command bound for a specific bank.
+
+    Attributes:
+        kind: The command type.
+        bank: Target bank index.
+        row: Target row (activates and CAS bookkeeping).
+        request: The memory request this command serves, if any.
+            Refresh commands carry no request.
+    """
+
+    kind: CommandType
+    bank: int
+    row: int = 0
+    request: Optional[object] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        req = f" req={self.request}" if self.request is not None else ""
+        return f"<{self.kind.value} bank={self.bank} row={self.row}{req}>"

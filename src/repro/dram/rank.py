@@ -1,0 +1,61 @@
+"""Rank-level SDRAM timing constraints.
+
+A rank is a set of banks that share internal power-delivery and I/O
+circuitry, which imposes cross-bank constraints: ``t_rrd`` between
+activates to *different* banks and ``t_wtr`` between the end of write
+data and the next read command anywhere in the rank.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .bank import Bank, _LONG_AGO
+from .commands import CommandType
+from .timing import DDR2Timing
+
+
+class Rank:
+    """A rank: its banks plus rank-wide activate/write-to-read tracking."""
+
+    def __init__(self, index: int, timing: DDR2Timing, num_banks: int):
+        if num_banks <= 0:
+            raise ValueError(f"rank needs at least one bank, got {num_banks}")
+        self.index = index
+        self.timing = timing
+        self.banks: List[Bank] = [Bank(b, timing) for b in range(num_banks)]
+        self.last_activate = _LONG_AGO
+        #: End of the most recent write burst anywhere in the rank.
+        self.write_data_end = _LONG_AGO
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    def earliest_issue(self, kind: CommandType, bank: int) -> int:
+        """Rank-level earliest legal cycle for ``kind`` on ``bank``.
+
+        Returns only the *rank* component; callers combine it with the
+        bank-level and channel-level components.
+        """
+        if kind is CommandType.ACTIVATE:
+            return self.last_activate + self.timing.t_rrd
+        if kind is CommandType.READ:
+            return self.write_data_end + self.timing.t_wtr
+        return 0
+
+    def issue(self, kind: CommandType, bank: int, row: int, now: int) -> None:
+        """Issue ``kind`` to ``bank`` at ``now``, updating rank state."""
+        self.banks[bank].issue(kind, row, now)
+        if kind is CommandType.ACTIVATE:
+            self.last_activate = now
+        elif kind is CommandType.WRITE:
+            self.write_data_end = now + self.timing.t_wl + self.timing.burst
+
+    def all_closed(self) -> bool:
+        """True when no bank has an open row (refresh precondition)."""
+        return all(not bank.is_open for bank in self.banks)
+
+    def refresh(self, now: int) -> None:
+        """Apply an all-bank refresh to every bank in the rank."""
+        for bank in self.banks:
+            bank.refresh(now)

@@ -1,0 +1,147 @@
+"""DDR2 SDRAM timing parameters.
+
+The default values reproduce Table 6 of the paper (Micron DDR2-800
+MT47H128M8B7-25E constraints) converted to processor cycles.  The
+paper's table mixes units: the refresh rows (tRFC = 510, tREFI =
+280,000) are processor cycles of the 4 GHz core — 127.5 ns and ~70 µs
+respectively — while the remaining rows are DDR2-800 *command-clock*
+cycles (400 MHz), i.e. one tenth of the processor clock: tRCD "5" is
+12.5 ns = 50 processor cycles.  This module works uniformly in
+processor cycles, so the main rows are the paper's numbers times the
+10:1 clock ratio.
+
+The :meth:`DDR2Timing.scaled` constructor produces a *time-scaled*
+memory system: every constraint multiplied by ``1 / share``.
+Time-scaled systems are the paper's private virtual-time baseline — a
+thread allocated a share ``phi`` of the memory system should run no
+slower than it would on a private memory system ``scaled(1 / phi)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+#: Processor clock cycles per DDR2-800 command-clock cycle (4 GHz / 400 MHz).
+DRAM_CLOCK_RATIO = 10
+
+
+@dataclass(frozen=True)
+class DDR2Timing:
+    """DDR2 timing constraints, in processor cycles (paper Table 6).
+
+    Attributes:
+        t_rcd: Activate to read.
+        t_cl: Read command to data-bus valid (CAS latency).
+        t_wl: Write command to data-bus valid (write latency).
+        t_ccd: CAS command to CAS command (reads or writes).
+        t_wtr: End of write data to a subsequent read command.
+        t_wr: End of write data to precharge (write recovery).
+        t_rtp: Read command to precharge.
+        t_rp: Precharge to activate.
+        t_rrd: Activate to activate, different banks.
+        t_ras: Activate to precharge, same bank.
+        t_rc: Activate to activate, same bank.
+        burst: Data-bus cycles per cache-line transfer (BL/2).
+        t_rfc: Refresh to activate (refresh cycle time).
+        t_refi: Maximum refresh-to-refresh interval.
+    """
+
+    t_rcd: int = 5 * DRAM_CLOCK_RATIO
+    t_cl: int = 5 * DRAM_CLOCK_RATIO
+    t_wl: int = 4 * DRAM_CLOCK_RATIO
+    t_ccd: int = 2 * DRAM_CLOCK_RATIO
+    t_wtr: int = 3 * DRAM_CLOCK_RATIO
+    t_wr: int = 6 * DRAM_CLOCK_RATIO
+    t_rtp: int = 3 * DRAM_CLOCK_RATIO
+    t_rp: int = 5 * DRAM_CLOCK_RATIO
+    t_rrd: int = 3 * DRAM_CLOCK_RATIO
+    t_ras: int = 18 * DRAM_CLOCK_RATIO
+    t_rc: int = 22 * DRAM_CLOCK_RATIO
+    burst: int = 4 * DRAM_CLOCK_RATIO
+    t_rfc: int = 510
+    t_refi: int = 280_000
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value <= 0:
+                raise ValueError(
+                    f"timing constraint {field.name} must be positive, got {value}"
+                )
+        if self.t_ras < self.t_rcd:
+            raise ValueError("t_ras must cover at least t_rcd")
+        if self.t_rc < self.t_ras:
+            raise ValueError("t_rc must be at least t_ras")
+
+    def scaled(self, factor: float) -> "DDR2Timing":
+        """Return a copy with every constraint time-scaled by ``factor``.
+
+        Used to build the paper's baseline systems: a private memory
+        system running at ``1 / factor`` of the shared system's
+        frequency.  Constraints are rounded to the nearest cycle but
+        never below one cycle.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+
+        def scale(value: int) -> int:
+            return max(1, round(value * factor))
+
+        return DDR2Timing(
+            t_rcd=scale(self.t_rcd),
+            t_cl=scale(self.t_cl),
+            t_wl=scale(self.t_wl),
+            t_ccd=scale(self.t_ccd),
+            t_wtr=scale(self.t_wtr),
+            t_wr=scale(self.t_wr),
+            t_rtp=scale(self.t_rtp),
+            t_rp=scale(self.t_rp),
+            t_rrd=scale(self.t_rrd),
+            t_ras=scale(self.t_ras),
+            t_rc=scale(self.t_rc),
+            burst=scale(self.burst),
+            t_rfc=scale(self.t_rfc),
+            t_refi=self.t_refi,
+        )
+
+    # -- derived service times (paper Table 3) -------------------------
+
+    @property
+    def service_row_hit(self) -> int:
+        """Bank service time for an open-row hit."""
+        return self.t_cl
+
+    @property
+    def service_closed(self) -> int:
+        """Bank service time when the bank is closed (activate + CAS)."""
+        return self.t_rcd + self.t_cl
+
+    @property
+    def service_conflict(self) -> int:
+        """Bank service time on a bank conflict (precharge + activate + CAS)."""
+        return self.t_rp + self.t_rcd + self.t_cl
+
+    # -- derived VTMS update service times (paper Table 4) -------------
+
+    @property
+    def update_precharge(self) -> int:
+        """Bank service charged to a precharge command (paper Table 4).
+
+        ``t_rp`` plus the additional bank occupancy between activate and
+        precharge not accounted for by the activate/read/write updates.
+        """
+        return self.t_rp + (self.t_ras - self.t_rcd - self.t_cl)
+
+    @property
+    def update_activate(self) -> int:
+        return self.t_rcd
+
+    @property
+    def update_read(self) -> int:
+        return self.t_cl
+
+    @property
+    def update_write(self) -> int:
+        return self.t_wl

@@ -1,0 +1,34 @@
+"""Drivers that regenerate each figure of the paper's evaluation."""
+
+from .figure1 import Figure1Result, run_figure1
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import Figure5Result, run_figure5
+from .figure6 import Figure6Result, run_figure6
+from .figure7 import Figure7Result, run_figure7
+from .figure8 import Figure8Result, run_figure8
+from .figure9 import Figure9Result, run_figure9
+from .pairs import POLICIES, PairOutcome, run_pairs
+from .quads import QUAD_POLICIES, QuadOutcome, run_quads
+
+__all__ = [
+    "Figure1Result",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "Figure8Result",
+    "Figure9Result",
+    "POLICIES",
+    "PairOutcome",
+    "QUAD_POLICIES",
+    "QuadOutcome",
+    "run_figure1",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_pairs",
+    "run_quads",
+]

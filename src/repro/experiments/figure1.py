@@ -1,0 +1,64 @@
+"""Figure 1: destructive interference under FR-FCFS.
+
+The paper's motivating experiment: benchmark *vpr* on a dual-processor
+CMP, running alone, co-scheduled with *crafty* (another modest
+benchmark — no observable change), and co-scheduled with *art* (the
+most aggressive benchmark — memory latency explodes from ~150 to ~1070
+cycles and vpr loses ~60% of its IPC).  The only shared resource is
+the SDRAM memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.runner import DEFAULT_CYCLES, run_group, run_solo
+from ..stats.report import render_table
+from ..workloads.spec2000 import profile
+
+
+@dataclass(frozen=True)
+class Figure1Row:
+    """One configuration's IPC and read latency."""
+    configuration: str
+    ipc: float
+    read_latency: float
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """The three Figure-1 configurations."""
+    rows: List[Figure1Row]
+
+    def row(self, configuration: str) -> Figure1Row:
+        """Look up a configuration by label."""
+        for r in self.rows:
+            if r.configuration == configuration:
+                return r
+        raise KeyError(configuration)
+
+    def render(self) -> str:
+        """Paper-style table."""
+        return render_table(
+            ["configuration", "IPC", "mean read latency (cycles)"],
+            [(r.configuration, r.ipc, r.read_latency) for r in self.rows],
+        )
+
+
+def run_figure1(cycles: int = DEFAULT_CYCLES, seed: int = 0) -> Figure1Result:
+    """Regenerate Figure 1 (FR-FCFS scheduling throughout)."""
+    vpr = profile("vpr")
+    rows: List[Figure1Row] = []
+
+    solo = run_solo(vpr, cycles=cycles, seed=seed)
+    rows.append(
+        Figure1Row("vpr alone", solo.threads[0].ipc, solo.threads[0].mean_read_latency)
+    )
+    for partner in ("crafty", "art"):
+        result = run_group([vpr, profile(partner)], "FR-FCFS", cycles=cycles, seed=seed)
+        subject = result.threads[0]
+        rows.append(
+            Figure1Row(f"vpr + {partner}", subject.ipc, subject.mean_read_latency)
+        )
+    return Figure1Result(rows)

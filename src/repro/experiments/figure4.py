@@ -1,0 +1,62 @@
+"""Figure 4: solo data-bus utilization of all twenty benchmarks.
+
+Each benchmark runs alone on a single-processor system with the
+FR-FCFS scheduler; utilization is measured against peak data-bus
+bandwidth.  The resulting ordering (most aggressive first) defines the
+workload construction for every other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.runner import DEFAULT_CYCLES, run_solo
+from ..stats.report import render_table
+from ..workloads.spec2000 import BENCHMARKS
+
+
+@dataclass(frozen=True)
+class Figure4Row:
+    """One benchmark's solo-run measurements."""
+    benchmark: str
+    bus_utilization: float
+    ipc: float
+    read_latency: float
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """All twenty solo runs, in Figure-4 order."""
+    rows: List[Figure4Row]
+
+    def utilizations(self) -> Dict[str, float]:
+        """Benchmark name → solo data-bus utilization."""
+        return {r.benchmark: r.bus_utilization for r in self.rows}
+
+    def render(self) -> str:
+        """Paper-style table of the solo spectrum."""
+        return render_table(
+            ["benchmark", "data-bus utilization", "IPC", "read latency"],
+            [
+                (r.benchmark, r.bus_utilization, r.ipc, r.read_latency)
+                for r in self.rows
+            ],
+        )
+
+
+def run_figure4(cycles: int = DEFAULT_CYCLES, seed: int = 0) -> Figure4Result:
+    """Regenerate Figure 4: solo runs of the twenty benchmarks."""
+    rows: List[Figure4Row] = []
+    for benchmark in BENCHMARKS:
+        result = run_solo(benchmark, cycles=cycles, seed=seed)
+        thread = result.threads[0]
+        rows.append(
+            Figure4Row(
+                benchmark=benchmark.name,
+                bus_utilization=result.data_bus_utilization,
+                ipc=thread.ipc,
+                read_latency=thread.mean_read_latency,
+            )
+        )
+    return Figure4Result(rows)

@@ -1,0 +1,74 @@
+"""Figure 6: the background thread's normalized IPC.
+
+The FQ scheduler must give the background thread (art) its share too:
+against subjects that demand more than half the memory system, art's
+normalized IPC sits near one (bandwidth split evenly); against less
+demanding subjects it rises as art receives the excess service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..stats.report import render_table
+from ..workloads.spec2000 import BENCHMARKS
+from .pairs import POLICIES, PairOutcome, run_pairs
+
+
+@dataclass(frozen=True)
+class Figure6Row:
+    """Background-thread outcome against one subject."""
+    subject: str
+    policy: str
+    background_norm_ipc: float
+    background_bus_utilization: float
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Background normalized IPC across all subjects."""
+    rows: List[Figure6Row]
+    policies: Sequence[str]
+
+    def for_policy(self, policy: str) -> List[Figure6Row]:
+        """Rows for one policy."""
+        return [r for r in self.rows if r.policy == policy]
+
+    def series(self, policy: str) -> List[float]:
+        """Background norm IPC ordered by subject aggressiveness."""
+        order = [b.name for b in BENCHMARKS if b.name != "art"]
+        by_subject = {r.subject: r for r in self.for_policy(policy)}
+        return [by_subject[name].background_norm_ipc for name in order]
+
+    def render(self) -> str:
+        """Paper-style table."""
+        headers = ["subject"] + [f"{p} bg nIPC" for p in self.policies]
+        by_subject = {}
+        for row in self.rows:
+            by_subject.setdefault(row.subject, {})[row.policy] = row
+        table = [
+            [subject] + [per[p].background_norm_ipc for p in self.policies]
+            for subject, per in by_subject.items()
+        ]
+        return render_table(headers, table)
+
+
+def run_figure6(
+    cycles: int = None, seed: int = 0, outcomes: List[PairOutcome] = None
+) -> Figure6Result:
+    """Regenerate Figure 6 from (possibly shared) pair runs."""
+    if outcomes is None:
+        from ..sim.runner import DEFAULT_CYCLES
+
+        outcomes = run_pairs(cycles=cycles or DEFAULT_CYCLES, seed=seed)
+    rows = [
+        Figure6Row(
+            subject=o.subject,
+            policy=o.policy,
+            background_norm_ipc=o.background_norm_ipc,
+            background_bus_utilization=o.result.threads[1].bus_utilization,
+        )
+        for o in outcomes
+    ]
+    return Figure6Result(rows=rows, policies=POLICIES)

@@ -1,0 +1,127 @@
+"""Figure 7: aggregate performance and memory-system throughput.
+
+Top: system performance (harmonic mean of the pair's normalized IPCs)
+improvement of FR-VFTF and FQ-VFTF over the FR-FCFS baseline — the
+paper reports FQ-VFTF averaging +31% (up to +76%).  Middle: aggregate
+data-bus utilization — FR-FCFS optimizes it best; FR-VFTF and FQ-VFTF
+stay close (94% / 92% on the paper's workloads).  Bottom: aggregate
+bank utilization — higher under the QoS schedulers, the unavoidable
+cost of preventing row-hit capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..stats.metrics import improvement
+from ..stats.report import render_kv, render_table
+from .pairs import POLICIES, PairOutcome, run_pairs
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """One workload×policy aggregate outcome."""
+    subject: str
+    policy: str
+    pair_harmonic_mean: float
+    improvement_over_frfcfs: float
+    data_bus_utilization: float
+    bank_utilization: float
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Aggregate performance and throughput rows."""
+    rows: List[Figure7Row]
+    policies: Sequence[str]
+
+    def for_policy(self, policy: str) -> List[Figure7Row]:
+        """Rows for one policy."""
+        return [r for r in self.rows if r.policy == policy]
+
+    def mean_improvement(self, policy: str) -> float:
+        """Mean fractional improvement over FR-FCFS."""
+        rows = self.for_policy(policy)
+        return sum(r.improvement_over_frfcfs for r in rows) / len(rows)
+
+    def max_improvement(self, policy: str) -> float:
+        """Best-case improvement over FR-FCFS."""
+        return max(r.improvement_over_frfcfs for r in self.for_policy(policy))
+
+    def mean_bus_utilization(self, policy: str) -> float:
+        """Mean aggregate data-bus utilization."""
+        rows = self.for_policy(policy)
+        return sum(r.data_bus_utilization for r in rows) / len(rows)
+
+    def mean_bank_utilization(self, policy: str) -> float:
+        """Mean aggregate bank utilization."""
+        rows = self.for_policy(policy)
+        return sum(r.bank_utilization for r in rows) / len(rows)
+
+    def render(self) -> str:
+        """Paper-style table plus summary."""
+        headers = ["subject"]
+        for policy in self.policies:
+            if policy != "FR-FCFS":
+                headers.append(f"{policy} perf Δ")
+        for policy in self.policies:
+            headers.append(f"{policy} bus")
+        by_subject: Dict[str, Dict[str, Figure7Row]] = {}
+        for row in self.rows:
+            by_subject.setdefault(row.subject, {})[row.policy] = row
+        table = []
+        for subject, per in by_subject.items():
+            cells: List[object] = [subject]
+            for policy in self.policies:
+                if policy != "FR-FCFS":
+                    cells.append(f"{per[policy].improvement_over_frfcfs:+.1%}")
+            for policy in self.policies:
+                cells.append(per[policy].data_bus_utilization)
+            table.append(cells)
+        pairs = []
+        for policy in self.policies:
+            if policy != "FR-FCFS":
+                pairs.append(
+                    (f"{policy} mean improvement", self.mean_improvement(policy))
+                )
+                pairs.append(
+                    (f"{policy} max improvement", self.max_improvement(policy))
+                )
+        for policy in self.policies:
+            pairs.append((f"{policy} mean bus util", self.mean_bus_utilization(policy)))
+            pairs.append(
+                (f"{policy} mean bank util", self.mean_bank_utilization(policy))
+            )
+        return render_table(headers, table) + "\n\n" + render_kv(
+            "Figure 7 summary", pairs
+        )
+
+
+def run_figure7(
+    cycles: int = None, seed: int = 0, outcomes: List[PairOutcome] = None
+) -> Figure7Result:
+    """Regenerate Figure 7 from (possibly shared) pair runs."""
+    if outcomes is None:
+        from ..sim.runner import DEFAULT_CYCLES
+
+        outcomes = run_pairs(cycles=cycles or DEFAULT_CYCLES, seed=seed)
+    baseline: Dict[str, float] = {
+        o.subject: o.pair_harmonic_mean
+        for o in outcomes
+        if o.policy == "FR-FCFS"
+    }
+    rows = [
+        Figure7Row(
+            subject=o.subject,
+            policy=o.policy,
+            pair_harmonic_mean=o.pair_harmonic_mean,
+            improvement_over_frfcfs=improvement(
+                o.pair_harmonic_mean, baseline[o.subject]
+            ),
+            data_bus_utilization=o.result.data_bus_utilization,
+            bank_utilization=o.result.bank_utilization,
+        )
+        for o in outcomes
+    ]
+    return Figure7Result(rows=rows, policies=POLICIES)

@@ -1,0 +1,129 @@
+"""Figure 9: normalized latency vs normalized target bus utilization.
+
+For every thread of the four-processor workloads, the paper plots its
+read latency (normalized to its solo latency) against its data-bus
+utilization normalized to its *target* utilization — the smaller of
+its solo utilization and its fair share (¼ plus waterfilled excess,
+§4.2).  With an ideal scheduler every point sits at normalized
+utilization one.
+
+Headline statistic: the variance of normalized utilization drops from
+.2 under FR-FCFS to .0058 under FQ-VFTF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..sim.runner import DEFAULT_CYCLES, run_solo
+from ..stats.metrics import fair_share_targets, variance
+from ..stats.report import render_kv, render_table
+from ..workloads.spec2000 import profile
+from .quads import QuadOutcome, run_quads
+
+
+@dataclass(frozen=True)
+class Figure9Point:
+    """One thread's (normalized latency, normalized utilization) point."""
+    workload_index: int
+    benchmark: str
+    policy: str
+    normalized_latency: float
+    normalized_utilization: float
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """The Figure-9 scatter and its spread statistics."""
+    points: List[Figure9Point]
+    policies: Sequence[str]
+
+    def for_policy(self, policy: str) -> List[Figure9Point]:
+        """Points for one policy."""
+        return [p for p in self.points if p.policy == policy]
+
+    def utilization_variance(self, policy: str) -> float:
+        """Variance of normalized target utilization (the headline)."""
+        return variance([p.normalized_utilization for p in self.for_policy(policy)])
+
+    def mean_normalized_utilization(self, policy: str) -> float:
+        """Mean normalized target utilization."""
+        pts = self.for_policy(policy)
+        return sum(p.normalized_utilization for p in pts) / len(pts)
+
+    def utilization_range(self, policy: str) -> tuple:
+        """(min, max) of normalized target utilization."""
+        values = [p.normalized_utilization for p in self.for_policy(policy)]
+        return (min(values), max(values))
+
+    def render(self) -> str:
+        """Paper-style table plus summary."""
+        table = [
+            (
+                f"WL{p.workload_index + 1}",
+                p.benchmark,
+                p.policy,
+                p.normalized_utilization,
+                p.normalized_latency,
+            )
+            for p in self.points
+        ]
+        pairs = []
+        for policy in self.policies:
+            lo, hi = self.utilization_range(policy)
+            pairs.extend(
+                [
+                    (f"{policy} mean norm util", self.mean_normalized_utilization(policy)),
+                    (f"{policy} norm util range", f"[{lo:.2f}, {hi:.2f}]"),
+                    (f"{policy} norm util variance", self.utilization_variance(policy)),
+                ]
+            )
+        return (
+            render_table(
+                ["workload", "benchmark", "policy", "norm util", "norm latency"],
+                table,
+            )
+            + "\n\n"
+            + render_kv("Figure 9 summary", pairs)
+        )
+
+
+def run_figure9(
+    cycles: int = None, seed: int = 0, outcomes: List[QuadOutcome] = None
+) -> Figure9Result:
+    """Regenerate Figure 9 from (possibly shared) quad runs."""
+    if cycles is None:
+        cycles = DEFAULT_CYCLES
+    if outcomes is None:
+        outcomes = run_quads(cycles=cycles, seed=seed)
+    # Solo reference runs (unscaled, as for Figure 4) provide each
+    # thread's solo latency and solo utilization.
+    solo_latency: Dict[str, float] = {}
+    solo_util: Dict[str, float] = {}
+    for outcome in outcomes:
+        for name in outcome.benchmarks:
+            if name not in solo_util:
+                solo = run_solo(profile(name), cycles=cycles, seed=seed)
+                solo_latency[name] = solo.threads[0].mean_read_latency
+                solo_util[name] = solo.threads[0].bus_utilization
+
+    points: List[Figure9Point] = []
+    for outcome in outcomes:
+        demands = [solo_util[name] for name in outcome.benchmarks]
+        shares = [0.25] * len(outcome.benchmarks)
+        targets = fair_share_targets(demands, shares)
+        for name, target, thread in zip(
+            outcome.benchmarks, targets, outcome.result.threads
+        ):
+            points.append(
+                Figure9Point(
+                    workload_index=outcome.workload_index,
+                    benchmark=name,
+                    policy=outcome.policy,
+                    normalized_latency=thread.mean_read_latency / solo_latency[name],
+                    normalized_utilization=thread.bus_utilization / target,
+                )
+            )
+    policies = list(dict.fromkeys(o.policy for o in outcomes))
+    return Figure9Result(points=points, policies=policies)

@@ -1,0 +1,64 @@
+"""Shared two-processor runs behind Figures 5, 6, and 7.
+
+Every two-processor experiment co-schedules a *subject* benchmark with
+the aggressive *background* thread (art) under each scheduling policy
+and normalizes each thread's IPC to the same benchmark running alone
+on the paper's baseline: a private memory system time-scaled by
+1/φ = 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..sim.runner import DEFAULT_CYCLES, run_group, run_solo
+from ..sim.system import SimResult
+from ..workloads.spec2000 import BACKGROUND, two_proc_pairs
+
+POLICIES: Sequence[str] = ("FR-FCFS", "FR-VFTF", "FQ-VFTF")
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """One subject+background co-run under one policy."""
+
+    subject: str
+    background: str
+    policy: str
+    result: SimResult
+    subject_norm_ipc: float
+    background_norm_ipc: float
+
+    @property
+    def pair_harmonic_mean(self) -> float:
+        """The paper's system-performance metric for this workload."""
+        a, b = self.subject_norm_ipc, self.background_norm_ipc
+        return 2.0 / (1.0 / a + 1.0 / b)
+
+
+def run_pairs(
+    policies: Sequence[str] = POLICIES,
+    cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+) -> List[PairOutcome]:
+    """All 19 subject workloads under each policy (memoized underneath)."""
+    outcomes: List[PairOutcome] = []
+    background_base = run_solo(BACKGROUND, scale=2.0, cycles=cycles, seed=seed)
+    for subject, background in two_proc_pairs():
+        subject_base = run_solo(subject, scale=2.0, cycles=cycles, seed=seed)
+        for policy in policies:
+            result = run_group([subject, background], policy, cycles=cycles, seed=seed)
+            outcomes.append(
+                PairOutcome(
+                    subject=subject.name,
+                    background=background.name,
+                    policy=policy,
+                    result=result,
+                    subject_norm_ipc=result.threads[0].ipc
+                    / subject_base.threads[0].ipc,
+                    background_norm_ipc=result.threads[1].ipc
+                    / background_base.threads[0].ipc,
+                )
+            )
+    return outcomes

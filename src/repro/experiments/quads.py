@@ -1,0 +1,64 @@
+"""Shared four-processor runs behind Figures 8 and 9.
+
+The paper's desktop scenario: four heterogeneous benchmarks per
+workload (every fourth benchmark of the first sixteen), each thread
+statically allocated φ = ¼ of the memory system.  Normalized IPC is
+measured against each benchmark alone on a private memory system
+time-scaled by four.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..sim.runner import DEFAULT_CYCLES, run_group, run_solo
+from ..sim.system import SimResult
+from ..workloads.spec2000 import four_proc_workloads
+
+QUAD_POLICIES: Sequence[str] = ("FR-FCFS", "FQ-VFTF")
+
+
+@dataclass(frozen=True)
+class QuadOutcome:
+    """One four-thread workload under one policy."""
+
+    workload_index: int
+    benchmarks: Sequence[str]
+    policy: str
+    result: SimResult
+    norm_ipcs: Sequence[float]
+
+    @property
+    def harmonic_mean(self) -> float:
+        return len(self.norm_ipcs) / sum(1.0 / n for n in self.norm_ipcs)
+
+
+def run_quads(
+    policies: Sequence[str] = QUAD_POLICIES,
+    cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+) -> List[QuadOutcome]:
+    """The paper's four 4-thread workloads under each policy."""
+    outcomes: List[QuadOutcome] = []
+    for index, workload in enumerate(four_proc_workloads()):
+        baselines = [
+            run_solo(b, scale=4.0, cycles=cycles, seed=seed).threads[0].ipc
+            for b in workload
+        ]
+        for policy in policies:
+            result = run_group(workload, policy, cycles=cycles, seed=seed)
+            norm = [
+                thread.ipc / base
+                for thread, base in zip(result.threads, baselines)
+            ]
+            outcomes.append(
+                QuadOutcome(
+                    workload_index=index,
+                    benchmarks=tuple(b.name for b in workload),
+                    policy=policy,
+                    result=result,
+                    norm_ipcs=tuple(norm),
+                )
+            )
+    return outcomes

@@ -1,0 +1,25 @@
+"""Simulation harness: configuration, the CMP system, and run helpers."""
+
+from .config import SystemConfig
+from .runner import (
+    DEFAULT_CYCLES,
+    clear_solo_cache,
+    coscheduled_pair,
+    default_warmup,
+    run_solo,
+    run_workload,
+)
+from .system import CmpSystem, SimResult, ThreadResult
+
+__all__ = [
+    "CmpSystem",
+    "DEFAULT_CYCLES",
+    "SimResult",
+    "SystemConfig",
+    "ThreadResult",
+    "clear_solo_cache",
+    "coscheduled_pair",
+    "default_warmup",
+    "run_solo",
+    "run_workload",
+]

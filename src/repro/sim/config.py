@@ -1,0 +1,125 @@
+"""System configuration (paper Tables 5 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..cpu.cache import CacheConfig, L1D_CONFIG, L1I_CONFIG, L2_CONFIG
+from ..cpu.core_model import CoreConfig
+from ..dram.timing import DDR2Timing
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a CMP system around one memory channel.
+
+    Attributes:
+        num_cores: Hardware threads sharing the memory system.
+        policy: Scheduling policy name ("FR-FCFS", "FR-VFTF", "FQ-VFTF").
+        shares: Per-thread service shares φᵢ; equal shares when None.
+        timing: DDR2 timing constraints (Table 6 defaults).
+        num_ranks / num_banks: SDRAM topology (1 rank × 8 banks).
+        columns_per_row: Cache lines per SDRAM row.
+        xor_bank: XOR bank-index permutation (Lin et al.).
+        core / l1i / l1d / l2: Per-core microarchitecture (Table 5).
+        read_entries_per_thread: Transaction-buffer partition size.
+        write_entries_per_thread: Write-buffer partition size.
+        front_latency: Cycles from L2 miss to controller arrival.
+        back_latency: Cycles from last data beat to core fill.  With the
+            Table 6 DRAM access (t_rcd + t_cl + burst = 140 processor
+            cycles) the defaults reproduce the paper's 180-cycle
+            unloaded read latency.
+        enable_refresh: Model periodic all-bank refresh.
+        seed: Workload RNG seed.
+        thread_address_stride: Base-address spacing between threads'
+            private footprints (they still contend for the same banks
+            and rows via the address map, as in the paper).
+        inversion_bound: Override the FQ bank rule's bound x (default
+            t_ras, the paper's choice).
+        row_policy: "closed" (paper's choice — precharge a row once its
+            pending accesses drain) or "open" (leave rows open until a
+            conflict or refresh forces them shut).
+        write_drain: "fcfs" (paper's behaviour — writes scheduled like
+            reads) or "watermark" (hold writebacks, drain in bursts).
+    """
+
+    num_cores: int = 2
+    policy: str = "FR-FCFS"
+    shares: Optional[List[float]] = None
+    timing: DDR2Timing = field(default_factory=DDR2Timing)
+    num_ranks: int = 1
+    num_banks: int = 8
+    columns_per_row: int = 32
+    num_channels: int = 1
+    xor_bank: bool = True
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = L1I_CONFIG
+    l1d: CacheConfig = L1D_CONFIG
+    l2: CacheConfig = L2_CONFIG
+    read_entries_per_thread: int = 16
+    write_entries_per_thread: int = 8
+    front_latency: int = 20
+    back_latency: int = 20
+    enable_refresh: bool = True
+    seed: int = 0
+    thread_address_stride: int = 1 << 34
+    inversion_bound: Optional[int] = None
+    row_policy: str = "closed"
+    write_drain: str = "fcfs"
+
+    def __post_init__(self) -> None:
+        if self.write_drain not in ("fcfs", "watermark"):
+            raise ValueError(
+                f"write_drain must be 'fcfs' or 'watermark', got {self.write_drain!r}"
+            )
+        if self.row_policy not in ("closed", "open"):
+            raise ValueError(
+                f"row_policy must be 'closed' or 'open', got {self.row_policy!r}"
+            )
+        if self.num_cores <= 0:
+            raise ValueError(f"need at least one core, got {self.num_cores}")
+        if self.front_latency < 0 or self.back_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.shares is not None and len(self.shares) != self.num_cores:
+            raise ValueError(
+                f"{len(self.shares)} shares for {self.num_cores} cores"
+            )
+
+    def unloaded_read_latency(self) -> int:
+        """Idle-system read latency: front + closed-bank DRAM access + back."""
+        t = self.timing
+        return self.front_latency + t.t_rcd + t.t_cl + t.burst + self.back_latency
+
+    def scaled_baseline(self, factor: float) -> "SystemConfig":
+        """Single-core private memory system time-scaled by ``factor``.
+
+        The paper's QoS baseline: a thread allocated share φ should run
+        no slower than alone on a system ``scaled(1/φ)``.  Only the
+        memory-system timing scales; the core and caches are unchanged.
+        """
+        return SystemConfig(
+            num_cores=1,
+            policy="FR-FCFS",
+            shares=None,
+            timing=self.timing.scaled(factor),
+            num_ranks=self.num_ranks,
+            num_banks=self.num_banks,
+            columns_per_row=self.columns_per_row,
+            num_channels=self.num_channels,
+            xor_bank=self.xor_bank,
+            core=self.core,
+            l1i=self.l1i,
+            l1d=self.l1d,
+            l2=self.l2,
+            read_entries_per_thread=self.read_entries_per_thread,
+            write_entries_per_thread=self.write_entries_per_thread,
+            front_latency=self.front_latency,
+            back_latency=self.back_latency,
+            enable_refresh=self.enable_refresh,
+            seed=self.seed,
+            thread_address_stride=self.thread_address_stride,
+            inversion_bound=self.inversion_bound,
+            row_policy=self.row_policy,
+            write_drain=self.write_drain,
+        )

@@ -1,0 +1,148 @@
+"""High-level run helpers: solo runs, co-scheduled runs, baselines.
+
+The paper's experiments repeatedly need (a) each benchmark run alone
+on a private memory system — possibly time-scaled — and (b) the same
+benchmark co-scheduled under each scheduling policy.  Solo runs are
+memoized per process since every figure reuses them.
+
+Run lengths default to a statistically stable but laptop-friendly
+window; set ``REPRO_SIM_CYCLES`` to lengthen every run proportionally
+for a higher-fidelity regeneration.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.shares import equal_shares
+from ..workloads.spec2000 import profile as lookup_profile
+from ..workloads.synthetic import BenchmarkProfile
+from .config import SystemConfig
+from .system import CmpSystem, SimResult
+
+#: Default measurement window in cycles (override via REPRO_SIM_CYCLES).
+DEFAULT_CYCLES = int(os.environ.get("REPRO_SIM_CYCLES", "60000"))
+#: Warmup fraction applied before the measurement window opens.
+WARMUP_FRACTION = 0.25
+
+
+def default_warmup(cycles: int) -> int:
+    """Warmup cycles preceding a measurement window of ``cycles``."""
+    return int(cycles * WARMUP_FRACTION)
+
+
+def run_workload(
+    profiles: Sequence[BenchmarkProfile],
+    policy: str,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: Optional[int] = None,
+    shares: Optional[List[float]] = None,
+    seed: int = 0,
+    inversion_bound: Optional[int] = None,
+) -> SimResult:
+    """Co-schedule ``profiles`` (one per core) under ``policy``."""
+    config = SystemConfig(
+        num_cores=len(profiles),
+        policy=policy,
+        shares=shares,
+        seed=seed,
+        inversion_bound=inversion_bound,
+    )
+    system = CmpSystem(config, profiles)
+    if warmup is None:
+        warmup = default_warmup(cycles)
+    return system.run(cycles, warmup=warmup)
+
+
+@lru_cache(maxsize=None)
+def _run_solo_cached(
+    name: str, scale: float, cycles: int, warmup: int, seed: int
+) -> SimResult:
+    profile = lookup_profile(name)
+    config = SystemConfig(num_cores=1, policy="FR-FCFS", seed=seed)
+    if scale != 1.0:
+        config = config.scaled_baseline(scale)
+    system = CmpSystem(config, [profile])
+    return system.run(cycles, warmup=warmup)
+
+
+def run_solo(
+    profile: BenchmarkProfile,
+    scale: float = 1.0,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: Optional[int] = None,
+    seed: int = 0,
+) -> SimResult:
+    """Run one benchmark alone on a (possibly time-scaled) private system.
+
+    ``scale`` > 1 slows the memory system down, e.g. ``scale=2`` is the
+    paper's two-processor QoS baseline (a private memory system at half
+    frequency, i.e. 1/φ with φ = ½).
+    """
+    if warmup is None:
+        warmup = default_warmup(cycles)
+    return _run_solo_cached(profile.name, scale, cycles, warmup, seed)
+
+
+def clear_solo_cache() -> None:
+    """Drop memoized runs (tests that vary global state use this)."""
+    _run_solo_cached.cache_clear()
+    _run_group_cached.cache_clear()
+
+
+@lru_cache(maxsize=None)
+def _run_group_cached(
+    names: Tuple[str, ...], policy: str, cycles: int, warmup: int, seed: int
+) -> SimResult:
+    profiles = [lookup_profile(name) for name in names]
+    return run_workload(profiles, policy, cycles=cycles, warmup=warmup, seed=seed)
+
+
+def run_group(
+    profiles: Sequence[BenchmarkProfile],
+    policy: str,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: Optional[int] = None,
+    seed: int = 0,
+) -> SimResult:
+    """Memoized co-scheduled run of named benchmark profiles.
+
+    Figures 5, 6, and 7 share the same two-processor runs and Figures 8
+    and 9 share the four-processor runs; the memo avoids re-simulating.
+    Only profiles registered in :mod:`repro.workloads.spec2000` are
+    cacheable by name.
+    """
+    if warmup is None:
+        warmup = default_warmup(cycles)
+    names = tuple(p.name for p in profiles)
+    return _run_group_cached(names, policy, cycles, warmup, seed)
+
+
+def coscheduled_pair(
+    subject: BenchmarkProfile,
+    background: BenchmarkProfile,
+    policy: str,
+    cycles: int = DEFAULT_CYCLES,
+    warmup: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[SimResult, float, float]:
+    """Run subject+background on a 2-CPU CMP; return (result, nIPC_s, nIPC_b).
+
+    Normalized IPC is measured against each benchmark running alone on
+    the paper's baseline: a private memory system time-scaled by 1/φ = 2.
+    """
+    result = run_workload(
+        [subject, background], policy, cycles=cycles, warmup=warmup, seed=seed
+    )
+    base_s = run_solo(subject, scale=2.0, cycles=cycles, warmup=warmup, seed=seed)
+    base_b = run_solo(background, scale=2.0, cycles=cycles, warmup=warmup, seed=seed)
+    n_subject = result.threads[0].ipc / base_s.threads[0].ipc
+    n_background = result.threads[1].ipc / base_b.threads[0].ipc
+    return result, n_subject, n_background
+
+
+def equal_share_list(num_threads: int) -> List[float]:
+    """Convenience re-export for experiment drivers."""
+    return equal_shares(num_threads)

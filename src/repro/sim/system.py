@@ -1,0 +1,407 @@
+"""The CMP system: cores + interconnect latencies + controller + DRAM.
+
+Builds the full simulated machine from a :class:`SystemConfig` and a
+list of benchmark profiles (one per core), runs it for a bounded number
+of cycles with an optional warmup, and reports windowed statistics.
+
+The only shared resource is the SDRAM memory system, matching the
+paper's methodology: each core has private caches and a private slice
+of the physical address space (threads still contend for the same
+banks, rows, and buses through the shared address map).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..controller.address_map import AddressMap
+from ..controller.controller import MemoryController
+from ..controller.request import MemoryRequest, RequestKind
+from ..core.policies import Policy, fq_vftf_with_bound, get_policy
+from ..cpu.core_model import OooCore
+from ..cpu.hierarchy import CacheHierarchy
+from ..dram.dram_system import DramSystem
+from ..workloads.synthetic import BenchmarkProfile
+from .config import SystemConfig
+
+
+@dataclass
+class ThreadResult:
+    """Windowed per-thread measurements."""
+
+    name: str
+    instructions: float
+    cycles: int
+    mean_read_latency: float
+    bus_utilization: float
+    reads: int
+    writes: int
+    nacks: int
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the measured window."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+@dataclass
+class SimResult:
+    """Windowed whole-system measurements for one run."""
+
+    policy: str
+    cycles: int
+    threads: List[ThreadResult]
+    data_bus_utilization: float
+    bank_utilization: float
+    refreshes: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def thread(self, name: str) -> ThreadResult:
+        """Look up a thread result by benchmark name."""
+        for t in self.threads:
+            if t.name == name:
+                return t
+        raise KeyError(f"no thread named {name!r}")
+
+
+class CmpSystem:
+    """A runnable CMP + memory-system instance."""
+
+    def __init__(self, config: SystemConfig, profiles: Sequence):
+        """Build a system running one workload per core.
+
+        ``profiles`` entries may be synthetic
+        :class:`~repro.workloads.synthetic.BenchmarkProfile` objects or
+        recorded :class:`~repro.workloads.trace_workload.TraceWorkload`
+        streams — anything exposing ``name``, ``make_trace`` and
+        ``prewarm_stream``.
+        """
+        if len(profiles) != config.num_cores:
+            raise ValueError(
+                f"{len(profiles)} profiles for {config.num_cores} cores"
+            )
+        self.config = config
+        self.profiles = list(profiles)
+        self.address_map = AddressMap(
+            line_bytes=config.l2.line_bytes,
+            num_ranks=config.num_ranks,
+            num_banks=config.num_banks,
+            columns_per_row=config.columns_per_row,
+            num_channels=config.num_channels,
+            xor_bank=config.xor_bank,
+        )
+        policy = self._resolve_policy(config)
+        # One independent DRAM device + controller per channel (the
+        # paper evaluates a single channel; multi-channel is its stated
+        # future work).  Each thread holds its share φ of *every*
+        # channel, so per-channel VTMS state is the natural extension.
+        self.drams: List[DramSystem] = []
+        self.controllers: List[MemoryController] = []
+        for _ in range(config.num_channels):
+            dram = DramSystem(
+                config.timing,
+                num_ranks=config.num_ranks,
+                num_banks=config.num_banks,
+                enable_refresh=config.enable_refresh,
+            )
+            self.drams.append(dram)
+            self.controllers.append(
+                MemoryController(
+                    dram=dram,
+                    address_map=self.address_map,
+                    num_threads=config.num_cores,
+                    policy=policy,
+                    shares=config.shares,
+                    read_entries_per_thread=config.read_entries_per_thread,
+                    write_entries_per_thread=config.write_entries_per_thread,
+                    row_policy=config.row_policy,
+                    write_drain=config.write_drain,
+                )
+            )
+        #: Single-channel aliases (the common case and the public API).
+        self.dram = self.drams[0]
+        self.controller = self.controllers[0]
+        #: Requests in flight toward the controllers: (arrival, seq, request).
+        self._to_controller: List[Tuple[int, int, MemoryRequest]] = []
+        #: Fills in flight toward cores: (deliver, seq, thread, line).
+        self._to_cores: List[Tuple[int, int, int, int]] = []
+        self._in_transit: List[List[Dict[RequestKind, int]]] = [
+            [
+                {RequestKind.READ: 0, RequestKind.WRITE: 0}
+                for _ in range(config.num_channels)
+            ]
+            for _ in range(config.num_cores)
+        ]
+        #: Interface queues: requests that arrived at their channel's
+        #: controller but were NACKed (buffer partition full), indexed
+        #: [channel][thread].
+        self._awaiting_mc: List[List[List[MemoryRequest]]] = [
+            [[] for _ in range(config.num_cores)]
+            for _ in range(config.num_channels)
+        ]
+        self._fill_seq = 0
+        self.now = 0
+        self.cores: List[OooCore] = []
+        for core_id, workload in enumerate(self.profiles):
+            base_address = core_id * config.thread_address_stride
+            generator = workload.make_trace(config.seed, base_address)
+            hierarchy = CacheHierarchy(config.l1i, config.l1d, config.l2)
+            self._prewarm(hierarchy, workload, config.seed, base_address)
+            core = OooCore(
+                core_id=core_id,
+                config=config.core,
+                trace=generator,
+                hierarchy=hierarchy,
+                submit=self._make_submit(core_id),
+            )
+            self.cores.append(core)
+
+    @staticmethod
+    def _resolve_policy(config: SystemConfig) -> Policy:
+        policy = get_policy(config.policy)
+        if config.inversion_bound is not None and policy.fq_bank_rule:
+            policy = fq_vftf_with_bound(config.inversion_bound)
+        return policy
+
+    def _prewarm(
+        self,
+        hierarchy: CacheHierarchy,
+        workload,
+        seed: int,
+        base_address: int,
+    ) -> None:
+        """Warm the L2 with the workload's prewarm stream.
+
+        The stream comes from a twin of the live trace, so measurement
+        starts in cache steady state without perturbing the replay.
+        """
+        for record in workload.prewarm_stream(seed, base_address):
+            hierarchy.l2.fill(hierarchy.line_of(record.address), dirty=record.is_write)
+        hierarchy.l2.hits = 0
+        hierarchy.l2.misses = 0
+        hierarchy.l2.writebacks = 0
+        hierarchy.pending_writebacks.clear()
+
+    # -- flow control ------------------------------------------------------
+
+    def _make_submit(self, core_id: int):
+        def submit(request: MemoryRequest) -> bool:
+            request.channel = self.address_map.channel_of(request.address)
+            if request.kind is RequestKind.WRITE:
+                # Writebacks are credit-controlled end to end: the core's
+                # writeback queue absorbs NACK back-pressure, exactly the
+                # paper's per-thread write-buffer partitioning.
+                controller = self.controllers[request.channel]
+                in_transit = self._in_transit[core_id][request.channel][
+                    RequestKind.WRITE
+                ]
+                waiting_writes = sum(
+                    1
+                    for r in self._awaiting_mc[request.channel][core_id]
+                    if r.is_write
+                )
+                occupied = (
+                    controller.buffers.occupancy(core_id, RequestKind.WRITE)
+                    + in_transit
+                    + waiting_writes
+                )
+                if occupied >= controller.buffers.write_capacity:
+                    return False
+                self._in_transit[core_id][request.channel][RequestKind.WRITE] += 1
+            # Reads are bounded by the core's MSHR file; requests that
+            # find the transaction-buffer partition full on arrival wait
+            # at the controller interface and retry each cycle.
+            arrival = self.now + self.config.front_latency
+            heapq.heappush(self._to_controller, (arrival, request.seq, request))
+            return True
+
+        return submit
+
+    def _deliver_to_controller(self, now: int) -> None:
+        """Move arrived requests into their controllers, oldest first.
+
+        A request whose buffer partition is full waits in its thread's
+        interface queue (the paper's NACK back-pressure); it retries
+        every cycle and enters in arrival order.
+        """
+        while self._to_controller and self._to_controller[0][0] <= now:
+            _, _, request = heapq.heappop(self._to_controller)
+            if request.kind is RequestKind.WRITE:
+                self._in_transit[request.thread_id][request.channel][
+                    request.kind
+                ] -= 1
+            self._awaiting_mc[request.channel][request.thread_id].append(request)
+        for channel, controller in enumerate(self.controllers):
+            for thread_queue in self._awaiting_mc[channel]:
+                while thread_queue:
+                    if not controller.try_enqueue(thread_queue[0]):
+                        break
+                    thread_queue.pop(0)
+
+    # -- main loop --------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the whole system by one cycle."""
+        now = self.now
+        self._deliver_to_controller(now)
+        for controller in self.controllers:
+            for request in controller.tick(now):
+                line = request.address >> self.address_map.offset_bits
+                self._fill_seq += 1
+                heapq.heappush(
+                    self._to_cores,
+                    (
+                        now + self.config.back_latency,
+                        self._fill_seq,
+                        request.thread_id,
+                        line,
+                    ),
+                )
+
+        while self._to_cores and self._to_cores[0][0] <= now:
+            _, _, thread_id, line = heapq.heappop(self._to_cores)
+            self.cores[thread_id].on_fill(line, now)
+
+        for core in self.cores:
+            core.tick(now)
+
+        self.now = now + 1
+
+    def _try_fast_forward(self, limit: int) -> bool:
+        """Skip stretches where every component is waiting; True if skipped.
+
+        Three component states are skippable: a *quiescent* core (no
+        memory activity at all — bulk-retires to its next fetch point),
+        an *asleep* core (fully stalled until a fill arrives), and a
+        sleeping controller (no command can become ready before its
+        published wake time).  In-flight messages bound the skip via
+        their delivery times.
+        """
+        events: List[int] = []
+        for core in self.cores:
+            if core.asleep:
+                continue
+            if not core.quiescent():
+                return False
+            core_event = core.next_event_time(self.now)
+            if core_event is not None:
+                events.append(core_event)
+        for controller in self.controllers:
+            ctrl_event = controller.next_event_time(self.now)
+            if ctrl_event is not None:
+                events.append(ctrl_event)
+        if self._to_controller:
+            events.append(self._to_controller[0][0])
+        if self._to_cores:
+            events.append(self._to_cores[0][0])
+        target = min(min(events), limit) if events else limit
+        if target <= self.now + 1:
+            return False
+        for core in self.cores:
+            if core.asleep:
+                core.sleep_skip(target - self.now)
+            else:
+                core.skip_to(self.now, target)
+        for controller in self.controllers:
+            controller.skip_cycles(self.now, target)
+        self.now = target
+        return True
+
+    def run_cycles(self, cycles: int, fast_forward: bool = True) -> None:
+        """Run until ``self.now`` reaches its current value plus ``cycles``."""
+        limit = self.now + cycles
+        while self.now < limit:
+            if fast_forward and self._try_fast_forward(limit):
+                continue
+            self.step()
+
+    # -- measurement ----------------------------------------------------------------
+
+    def _snapshot(self) -> Dict[str, float]:
+        snap: Dict[str, float] = {
+            "cycle": self.now,
+            "data_busy": sum(
+                dram.channel.data_busy_cycles for dram in self.drams
+            ),
+            "bank_busy": sum(
+                bank.busy_cycles_at(self.now)
+                for dram in self.drams
+                for _, bank in dram.iter_banks()
+            ),
+            "refreshes": sum(dram.refresh_count for dram in self.drams),
+        }
+        for t in range(self.config.num_cores):
+            core = self.cores[t]
+            snap[f"inst_{t}"] = core.stats.instructions
+            snap[f"core_cycles_{t}"] = core.stats.cycles
+            snap[f"lat_sum_{t}"] = sum(
+                c.stats.read_latency_sum[t] for c in self.controllers
+            )
+            snap[f"reads_{t}"] = sum(c.stats.read_count[t] for c in self.controllers)
+            snap[f"writes_{t}"] = sum(c.stats.write_count[t] for c in self.controllers)
+            snap[f"cas_cycles_{t}"] = sum(
+                c.stats.cas_cycles[t] for c in self.controllers
+            )
+            snap[f"nacks_{t}"] = (
+                sum(c.stats.requests_nacked[t] for c in self.controllers)
+                + core.stats.nacks
+            )
+        return snap
+
+    def run(self, cycles: int, warmup: int = 0) -> SimResult:
+        """Run ``warmup`` then ``cycles`` cycles; report the measured window."""
+        if warmup > 0:
+            self.run_cycles(warmup)
+        before = self._snapshot()
+        self.run_cycles(cycles)
+        after = self._snapshot()
+        return self._result(before, after)
+
+    def _result(self, before: Dict[str, float], after: Dict[str, float]) -> SimResult:
+        window = int(after["cycle"] - before["cycle"])
+        threads: List[ThreadResult] = []
+        for t in range(self.config.num_cores):
+            reads = int(after[f"reads_{t}"] - before[f"reads_{t}"])
+            lat_sum = after[f"lat_sum_{t}"] - before[f"lat_sum_{t}"]
+            mean_lat = (lat_sum / reads) if reads else 0.0
+            # Latency is measured controller-arrival to data-return; add
+            # the on-chip round trip so it is core-observed, as in Fig 1.
+            if reads:
+                mean_lat += self.config.front_latency + self.config.back_latency
+            cas = after[f"cas_cycles_{t}"] - before[f"cas_cycles_{t}"]
+            # Utilizations are relative to total peak bandwidth across
+            # all channels.
+            bus_window = window * self.config.num_channels
+            threads.append(
+                ThreadResult(
+                    name=self.profiles[t].name,
+                    instructions=after[f"inst_{t}"] - before[f"inst_{t}"],
+                    cycles=int(after[f"core_cycles_{t}"] - before[f"core_cycles_{t}"]),
+                    mean_read_latency=mean_lat,
+                    bus_utilization=(cas / bus_window) if window else 0.0,
+                    reads=reads,
+                    writes=int(after[f"writes_{t}"] - before[f"writes_{t}"]),
+                    nacks=int(after[f"nacks_{t}"] - before[f"nacks_{t}"]),
+                )
+            )
+        data_busy = after["data_busy"] - before["data_busy"]
+        bank_busy = after["bank_busy"] - before["bank_busy"]
+        bus_window = window * self.config.num_channels
+        denom = (
+            window
+            * self.dram.num_banks
+            * self.dram.num_ranks
+            * self.config.num_channels
+        )
+        return SimResult(
+            policy=self.controller.policy.name,
+            cycles=window,
+            threads=threads,
+            data_bus_utilization=(data_busy / bus_window) if window else 0.0,
+            bank_utilization=(bank_busy / denom) if denom else 0.0,
+            refreshes=int(after["refreshes"] - before["refreshes"]),
+        )

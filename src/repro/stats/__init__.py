@@ -1,0 +1,26 @@
+"""Evaluation metrics and reporting."""
+
+from .metrics import (
+    fair_share_targets,
+    jain_index,
+    harmonic_mean,
+    improvement,
+    normalized,
+    variance,
+)
+from .qos import QosReport, QosVerdict, qos_report
+from .report import render_kv, render_table
+
+__all__ = [
+    "fair_share_targets",
+    "jain_index",
+    "harmonic_mean",
+    "improvement",
+    "normalized",
+    "QosReport",
+    "QosVerdict",
+    "qos_report",
+    "render_kv",
+    "render_table",
+    "variance",
+]

@@ -1,0 +1,102 @@
+"""Metrics used throughout the paper's evaluation.
+
+* normalized IPC against a time-scaled private baseline (QoS metric)
+* harmonic mean of normalized IPCs (system performance, Luo et al.)
+* target data-bus utilization and its fair-share waterfilling (§4.2)
+* variance of normalized target utilization (the .2 → .0058 headline)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; the paper's multi-thread performance metric."""
+    if not values:
+        raise ValueError("harmonic mean of no values")
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"harmonic mean requires positive values, got {v}")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance, as used for Figure 9's spread statistic."""
+    if not values:
+        raise ValueError("variance of no values")
+    mean = sum(values) / len(values)
+    return sum((v - mean) ** 2 for v in values) / len(values)
+
+
+def normalized(value: float, baseline: float) -> float:
+    """value / baseline with a guard for degenerate baselines."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return value / baseline
+
+
+def fair_share_targets(
+    solo_utilizations: Sequence[float],
+    shares: Sequence[float],
+    capacity: float = 1.0,
+    tolerance: float = 1e-9,
+) -> List[float]:
+    """Per-thread target data-bus utilization (paper §4.2).
+
+    A thread's target is the smaller of (1) its solo utilization — it
+    cannot use more than it demands — and (2) its allocated share plus
+    a fair share of the excess bandwidth.  Excess is distributed by
+    waterfilling: equal increments to every thread that still demands
+    more, until the excess is gone or demand is satisfied.
+    """
+    if len(solo_utilizations) != len(shares):
+        raise ValueError("solo_utilizations and shares must align")
+    for u in solo_utilizations:
+        if u < 0:
+            raise ValueError(f"solo utilization must be >= 0, got {u}")
+    targets = [min(solo, share * capacity) for solo, share in zip(solo_utilizations, shares)]
+    excess = capacity * sum(shares) - sum(targets)
+    while excess > tolerance:
+        hungry = [
+            i for i, (solo, t) in enumerate(zip(solo_utilizations, targets))
+            if solo - t > tolerance
+        ]
+        if not hungry:
+            break
+        increment = excess / len(hungry)
+        consumed = 0.0
+        for i in hungry:
+            grant = min(increment, solo_utilizations[i] - targets[i])
+            targets[i] += grant
+            consumed += grant
+        if consumed <= tolerance:
+            break
+        excess -= consumed
+    return targets
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²) ∈ (0, 1].
+
+    One when all threads receive equal service; 1/n when a single
+    thread receives everything.  A compact companion to the paper's
+    variance statistic for Figure 9.
+    """
+    if not values:
+        raise ValueError("fairness index of no values")
+    for v in values:
+        if v < 0:
+            raise ValueError(f"fairness index requires non-negative values, got {v}")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        raise ValueError("fairness index of all-zero values")
+    return (total * total) / (len(values) * squares)
+
+
+def improvement(value: float, baseline: float) -> float:
+    """Fractional improvement of ``value`` over ``baseline`` (0.31 = +31%)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return value / baseline - 1.0

@@ -1,0 +1,43 @@
+"""Plain-text rendering of paper-style tables and series."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned fixed-width table.
+
+    Floats are shown with three decimals; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    formatted: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Sequence[Sequence[object]]) -> str:
+    """Render a titled key/value block."""
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    lines = [title, "=" * len(title)]
+    for key, value in pairs:
+        shown = f"{value:.4f}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(key).ljust(width)}  {shown}")
+    return "\n".join(lines)

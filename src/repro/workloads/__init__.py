@@ -1,0 +1,35 @@
+"""Synthetic SPEC-2000-like workloads and workload construction."""
+
+from .spec2000 import (
+    BACKGROUND,
+    BENCHMARKS,
+    BY_NAME,
+    four_proc_workloads,
+    profile,
+    two_proc_pairs,
+)
+from .sampling import (
+    Representativeness,
+    representativeness,
+    sample_trace,
+    trace_statistics,
+)
+from .synthetic import BenchmarkProfile, SyntheticTraceGenerator
+from .trace_workload import TraceWorkload, workload_from_records
+
+__all__ = [
+    "BACKGROUND",
+    "BENCHMARKS",
+    "BY_NAME",
+    "BenchmarkProfile",
+    "Representativeness",
+    "SyntheticTraceGenerator",
+    "TraceWorkload",
+    "four_proc_workloads",
+    "profile",
+    "representativeness",
+    "sample_trace",
+    "trace_statistics",
+    "two_proc_pairs",
+    "workload_from_records",
+]

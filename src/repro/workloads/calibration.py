@@ -1,0 +1,83 @@
+"""Profile calibration against Figure-4 solo-utilization targets.
+
+The paper characterizes each SPEC trace by its solo data-bus
+utilization (Figure 4).  Our synthetic stand-ins fix the *qualitative*
+parameters per benchmark (row locality, dependence fraction, burst
+shape, write mix, footprint) and solve for the reference-stream
+intensity (``inter_burst_gap``) that lands the solo utilization on the
+paper's spectrum.  This module is how `spec2000.py`'s frozen profiles
+were produced; re-run it after changing the core or DRAM models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from .synthetic import BenchmarkProfile
+
+
+def solo_utilization(
+    profile: BenchmarkProfile, cycles: int = 30_000, warmup: int = 8_000
+) -> float:
+    """Measure a profile's solo data-bus utilization (FR-FCFS, 1 core)."""
+    from ..sim.config import SystemConfig
+    from ..sim.system import CmpSystem
+
+    system = CmpSystem(SystemConfig(num_cores=1, policy="FR-FCFS"), [profile])
+    result = system.run(cycles, warmup=warmup)
+    return result.data_bus_utilization
+
+
+def calibrate_intensity(
+    profile: BenchmarkProfile,
+    target: float,
+    tolerance: float = 0.08,
+    max_iters: int = 8,
+    cycles: int = 30_000,
+    gap_bounds: Tuple[float, float] = (0.5, 200_000.0),
+) -> Tuple[BenchmarkProfile, float]:
+    """Solve for the ``inter_burst_gap`` that hits ``target`` utilization.
+
+    Uses bisection on the gap (utilization is monotonically decreasing
+    in it).  Returns the calibrated profile and its measured solo
+    utilization.  ``tolerance`` is relative.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target utilization must be in (0, 1), got {target}")
+    gap_min, gap_max = gap_bounds
+
+    def measure(gap: float) -> Tuple[BenchmarkProfile, float]:
+        candidate = dataclasses.replace(profile, inter_burst_gap=gap)
+        return candidate, solo_utilization(candidate, cycles=cycles)
+
+    # Utilization decreases monotonically in the gap: bracket the
+    # target by doubling/halving, then bisect.
+    gap = max(gap_min, min(gap_max, profile.inter_burst_gap))
+    candidate, util = measure(gap)
+    best = (candidate, util)
+    lo = hi = gap  # lo: util >= target side, hi: util <= target side
+    while util > target and gap < gap_max:
+        lo, gap = gap, min(gap_max, gap * 2)
+        candidate, util = measure(gap)
+        if abs(util - target) < abs(best[1] - target):
+            best = (candidate, util)
+    hi = gap
+    while util < target and gap > gap_min:
+        hi, gap = gap, max(gap_min, gap / 2)
+        candidate, util = measure(gap)
+        if abs(util - target) < abs(best[1] - target):
+            best = (candidate, util)
+    lo = gap
+    for _ in range(max_iters):
+        if abs(best[1] - target) <= tolerance * target:
+            break
+        gap = (lo + hi) / 2
+        candidate, util = measure(gap)
+        if abs(util - target) < abs(best[1] - target):
+            best = (candidate, util)
+        if util > target:
+            lo = gap
+        else:
+            hi = gap
+    return best

@@ -1,0 +1,142 @@
+"""Trace sampling and representativeness validation.
+
+The paper drives its evaluation with "100 million instruction SPEC
+benchmark sampled traces that have been verified to be statistically
+representative of the entire SPEC application" (citing Iyengar et
+al.).  This module provides that methodology for user traces:
+
+* :func:`sample_trace` — extract evenly spaced contiguous sample
+  windows from a long reference stream;
+* :func:`trace_statistics` — the summary statistics that matter to a
+  memory-scheduling study (reference intensity, write mix, dependence
+  fraction, spatial locality, footprint);
+* :func:`representativeness` — compare a sample against its parent
+  trace, reporting the relative error of each statistic and an overall
+  verdict against a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..cpu.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of a reference stream.
+
+    Attributes:
+        records: Number of references.
+        instructions: Total instructions spanned (gaps + references).
+        mean_gap: Mean instruction gap per reference.
+        write_fraction: Fraction of stores.
+        dep_fraction: Fraction of dependent references.
+        sequential_fraction: Fraction of references to the line
+            immediately after their predecessor (spatial locality).
+        footprint_lines: Distinct cache lines touched.
+    """
+
+    records: int
+    instructions: int
+    mean_gap: float
+    write_fraction: float
+    dep_fraction: float
+    sequential_fraction: float
+    footprint_lines: int
+
+
+def trace_statistics(records: Sequence[TraceRecord], line_bytes: int = 64) -> TraceStatistics:
+    """Compute the scheduling-relevant statistics of ``records``."""
+    if not records:
+        raise ValueError("cannot summarize an empty trace")
+    instructions = sum(r.inst_gap + 1 for r in records)
+    writes = sum(1 for r in records if r.is_write)
+    deps = sum(1 for r in records if r.dep > 0)
+    lines = [r.address // line_bytes for r in records]
+    sequential = sum(1 for a, b in zip(lines, lines[1:]) if b == a + 1)
+    return TraceStatistics(
+        records=len(records),
+        instructions=instructions,
+        mean_gap=(instructions - len(records)) / len(records),
+        write_fraction=writes / len(records),
+        dep_fraction=deps / len(records),
+        sequential_fraction=sequential / max(1, len(records) - 1),
+        footprint_lines=len(set(lines)),
+    )
+
+
+def sample_trace(
+    records: Sequence[TraceRecord],
+    num_samples: int,
+    sample_len: int,
+) -> List[TraceRecord]:
+    """Evenly spaced contiguous sampling (Iyengar-style).
+
+    Splits the trace into ``num_samples`` windows of ``sample_len``
+    references, spaced uniformly across the whole stream, and
+    concatenates them.  The gap record at each window boundary keeps
+    its original value, so instruction counts remain meaningful.
+    """
+    if num_samples <= 0 or sample_len <= 0:
+        raise ValueError("num_samples and sample_len must be positive")
+    total_needed = num_samples * sample_len
+    if total_needed > len(records):
+        raise ValueError(
+            f"cannot take {num_samples}×{sample_len} references from a "
+            f"{len(records)}-reference trace"
+        )
+    if num_samples == 1:
+        return list(records[:sample_len])
+    stride = (len(records) - sample_len) / (num_samples - 1)
+    sampled: List[TraceRecord] = []
+    for i in range(num_samples):
+        start = round(i * stride)
+        sampled.extend(records[start:start + sample_len])
+    return sampled
+
+
+#: Statistics compared by :func:`representativeness` and their weights.
+_COMPARED = ("mean_gap", "write_fraction", "dep_fraction", "sequential_fraction")
+
+
+@dataclass(frozen=True)
+class Representativeness:
+    """Outcome of comparing a sample against its parent trace."""
+
+    relative_errors: Dict[str, float]
+    tolerance: float
+
+    @property
+    def worst_error(self) -> float:
+        """Largest relative error across the compared statistics."""
+        return max(self.relative_errors.values())
+
+    @property
+    def representative(self) -> bool:
+        """True when every statistic is within the tolerance."""
+        return self.worst_error <= self.tolerance
+
+
+def representativeness(
+    parent: Sequence[TraceRecord],
+    sample: Sequence[TraceRecord],
+    tolerance: float = 0.15,
+) -> Representativeness:
+    """Validate that ``sample`` reproduces ``parent``'s statistics.
+
+    Relative error is computed per statistic with an absolute floor so
+    near-zero fractions do not explode the ratio.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    parent_stats = trace_statistics(parent)
+    sample_stats = trace_statistics(sample)
+    errors: Dict[str, float] = {}
+    for stat in _COMPARED:
+        reference = getattr(parent_stats, stat)
+        measured = getattr(sample_stats, stat)
+        floor = max(abs(reference), 0.02)
+        errors[stat] = abs(measured - reference) / floor
+    return Representativeness(relative_errors=errors, tolerance=tolerance)

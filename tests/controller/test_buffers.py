@@ -1,0 +1,105 @@
+"""Per-thread partitioned buffers and NACK accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.buffers import PartitionedBuffers
+from repro.controller.request import MemoryRequest, RequestKind
+
+
+def make_request(thread=0, kind=RequestKind.READ):
+    return MemoryRequest(thread_id=thread, kind=kind, address=0, arrival_time=0)
+
+
+class TestCapacity:
+    def test_paper_defaults(self):
+        buffers = PartitionedBuffers(2)
+        assert buffers.read_capacity == 16
+        assert buffers.write_capacity == 8
+
+    def test_reserve_until_full(self):
+        buffers = PartitionedBuffers(1, read_entries_per_thread=2)
+        assert buffers.reserve(make_request())
+        assert buffers.reserve(make_request())
+        assert not buffers.reserve(make_request())
+
+    def test_nack_counted(self):
+        buffers = PartitionedBuffers(1, read_entries_per_thread=1)
+        buffers.reserve(make_request())
+        buffers.reserve(make_request())
+        assert buffers.nack_count[0] == 1
+
+    def test_release_frees_entry(self):
+        buffers = PartitionedBuffers(1, read_entries_per_thread=1)
+        request = make_request()
+        buffers.reserve(request)
+        buffers.release(request)
+        assert buffers.reserve(make_request())
+
+    def test_release_without_reserve_raises(self):
+        buffers = PartitionedBuffers(1)
+        with pytest.raises(ValueError):
+            buffers.release(make_request())
+
+
+class TestPartitioning:
+    def test_threads_isolated(self):
+        buffers = PartitionedBuffers(2, read_entries_per_thread=1)
+        assert buffers.reserve(make_request(thread=0))
+        # Thread 0 full; thread 1 unaffected.
+        assert not buffers.reserve(make_request(thread=0))
+        assert buffers.reserve(make_request(thread=1))
+
+    def test_reads_and_writes_separate(self):
+        buffers = PartitionedBuffers(1, read_entries_per_thread=1,
+                                     write_entries_per_thread=1)
+        assert buffers.reserve(make_request(kind=RequestKind.READ))
+        assert buffers.reserve(make_request(kind=RequestKind.WRITE))
+        assert not buffers.reserve(make_request(kind=RequestKind.READ))
+        assert not buffers.reserve(make_request(kind=RequestKind.WRITE))
+
+    def test_occupancy_tracking(self):
+        buffers = PartitionedBuffers(2)
+        buffers.reserve(make_request(thread=1, kind=RequestKind.WRITE))
+        assert buffers.occupancy(1, RequestKind.WRITE) == 1
+        assert buffers.occupancy(1, RequestKind.READ) == 0
+        assert buffers.total_occupancy() == 1
+
+
+class TestValidation:
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            PartitionedBuffers(0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PartitionedBuffers(1, read_entries_per_thread=0)
+
+
+class TestInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.sampled_from([RequestKind.READ, RequestKind.WRITE]),
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, ops):
+        buffers = PartitionedBuffers(
+            3, read_entries_per_thread=4, write_entries_per_thread=2
+        )
+        held = []
+        for thread, kind in ops:
+            request = make_request(thread=thread, kind=kind)
+            if buffers.reserve(request):
+                held.append(request)
+            # Free the oldest request occasionally to exercise release.
+            if len(held) > 6:
+                buffers.release(held.pop(0))
+        for thread in range(3):
+            assert buffers.occupancy(thread, RequestKind.READ) <= 4
+            assert buffers.occupancy(thread, RequestKind.WRITE) <= 2

@@ -1,0 +1,87 @@
+"""Channel scheduler arbitration across banks."""
+
+import pytest
+
+from repro.controller.address_map import AddressMap
+from repro.controller.bank_scheduler import BankScheduler
+from repro.controller.channel_scheduler import ChannelScheduler
+from repro.controller.request import MemoryRequest, RequestKind
+from repro.core.policies import FR_FCFS
+from repro.dram.commands import CommandType
+from repro.dram.dram_system import DramSystem
+from repro.dram.timing import DDR2Timing
+
+AMAP = AddressMap()
+
+
+@pytest.fixture
+def timing():
+    return DDR2Timing()
+
+
+@pytest.fixture
+def dram(timing):
+    return DramSystem(timing, enable_refresh=False)
+
+
+@pytest.fixture
+def schedulers(dram):
+    return [
+        BankScheduler(0, b, dram, FR_FCFS, None, inversion_bound=0)
+        for b in range(dram.num_banks)
+    ]
+
+
+def req(bank, row, arrival=0, column=0):
+    request = MemoryRequest(
+        thread_id=0, kind=RequestKind.READ,
+        address=AMAP.encode(0, bank, row, column), arrival_time=arrival,
+    )
+    request.rank, request.bank, request.row, request.column = AMAP.decode(
+        request.address
+    )
+    return request
+
+
+class TestSelection:
+    def test_nothing_pending_returns_none(self, schedulers):
+        channel = ChannelScheduler(schedulers)
+        assert channel.select(0) is None
+
+    def test_selects_ready_command(self, dram, schedulers):
+        schedulers[2].add(req(2, 5))
+        channel = ChannelScheduler(schedulers)
+        cand = channel.select(0)
+        assert cand is not None
+        assert cand.bank == 2
+        assert cand.kind is CommandType.ACTIVATE
+
+    def test_cas_beats_ras(self, dram, schedulers, timing):
+        # Bank 0 has an open row with a pending hit; bank 1 needs an
+        # activate.  CAS wins regardless of arrival order.
+        hit = req(0, 5, arrival=50)
+        act = req(1, 7, arrival=0)
+        schedulers[0].add(hit)
+        schedulers[1].add(act)
+        dram.issue(CommandType.ACTIVATE, 0, 0, 5, 0)
+        cand = ChannelScheduler(schedulers).select(timing.t_rcd)
+        assert cand.kind is CommandType.READ
+        assert cand.request is hit
+
+    def test_fcfs_breaks_ties_among_same_class(self, dram, schedulers):
+        early = req(1, 7, arrival=0)
+        late = req(2, 3, arrival=10)
+        schedulers[1].add(early)
+        schedulers[2].add(late)
+        cand = ChannelScheduler(schedulers).select(0)
+        assert cand.request is early
+
+    def test_not_ready_candidates_skipped(self, dram, schedulers, timing):
+        # Bank 0's row just opened: its CAS is not ready before t_rcd,
+        # so a ready activate elsewhere wins the slot.
+        schedulers[0].add(req(0, 5))
+        schedulers[1].add(req(1, 7, arrival=99))
+        dram.issue(CommandType.ACTIVATE, 0, 0, 5, 0)
+        cand = ChannelScheduler(schedulers).select(timing.t_rrd)
+        assert cand.kind is CommandType.ACTIVATE
+        assert cand.bank == 1

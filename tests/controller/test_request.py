@@ -1,0 +1,44 @@
+"""MemoryRequest lifecycle and identity."""
+
+import pytest
+
+from repro.controller.request import MemoryRequest, RequestKind
+
+
+def make(kind=RequestKind.READ, **kwargs):
+    defaults = dict(thread_id=0, kind=kind, address=0x1000, arrival_time=5)
+    defaults.update(kwargs)
+    return MemoryRequest(**defaults)
+
+
+class TestIdentity:
+    def test_sequence_numbers_unique_and_increasing(self):
+        a, b = make(), make()
+        assert a.seq < b.seq
+
+    def test_requests_hash_by_identity(self):
+        a, b = make(), make()
+        assert len({a, b}) == 2
+        assert a != b
+
+    def test_kind_predicates(self):
+        assert make(RequestKind.READ).is_read
+        assert not make(RequestKind.READ).is_write
+        assert make(RequestKind.WRITE).is_write
+
+
+class TestLifecycle:
+    def test_not_done_initially(self):
+        request = make()
+        assert not request.done
+        with pytest.raises(ValueError):
+            request.latency()
+
+    def test_latency_after_completion(self):
+        request = make()
+        request.completed_at = 155
+        assert request.done
+        assert request.latency() == 150
+
+    def test_prefetch_flag_defaults_false(self):
+        assert not make().prefetch

@@ -1,0 +1,143 @@
+"""Scheduling policies: identity, ordering keys, lookup."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.request import MemoryRequest, RequestKind
+from repro.core.policies import (
+    FQ_VFTF,
+    FR_FCFS,
+    FR_VFTF,
+    POLICIES,
+    fq_vftf_with_bound,
+    get_policy,
+)
+
+
+def make_request(arrival=0, vft=0.0, thread=0):
+    request = MemoryRequest(
+        thread_id=thread,
+        kind=RequestKind.READ,
+        address=0x1000,
+        arrival_time=arrival,
+    )
+    request.virtual_finish_time = vft
+    return request
+
+
+class TestPolicyIdentity:
+    def test_policies_registered(self):
+        assert set(POLICIES) == {
+            "FR-FCFS",
+            "FR-VFTF",
+            "FQ-VFTF",
+            "FQ-VFTF-ARR",
+            "FQ-VSTF",
+        }
+
+    def test_fq_vstf_flags(self):
+        policy = POLICIES["FQ-VSTF"]
+        assert policy.uses_vtms
+        assert policy.start_time_priority
+        assert not POLICIES["FQ-VFTF"].start_time_priority
+
+    def test_vstf_orders_by_start_time(self):
+        a = make_request(arrival=20, vft=500.0)
+        b = make_request(arrival=10, vft=100.0)
+        a.virtual_start_time = 10.0
+        b.virtual_start_time = 90.0
+        assert POLICIES["FQ-VSTF"].request_key(a) < POLICIES["FQ-VSTF"].request_key(b)
+
+    def test_fq_vftf_arr_flags(self):
+        policy = POLICIES["FQ-VFTF-ARR"]
+        assert policy.uses_vtms
+        assert policy.fq_bank_rule
+        assert policy.arrival_accounting
+        # The evaluated policies all defer finish-time computation.
+        assert not POLICIES["FQ-VFTF"].arrival_accounting
+
+    def test_fr_fcfs_flags(self):
+        assert not FR_FCFS.uses_vtms
+        assert not FR_FCFS.fq_bank_rule
+
+    def test_fr_vftf_flags(self):
+        assert FR_VFTF.uses_vtms
+        assert not FR_VFTF.fq_bank_rule
+
+    def test_fq_vftf_flags(self):
+        assert FQ_VFTF.uses_vtms
+        assert FQ_VFTF.fq_bank_rule
+        assert FQ_VFTF.inversion_bound is None  # resolved to t_ras later
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["FR-FCFS", "fr-fcfs", "fr_fcfs", "FQ-VFTF"])
+    def test_case_and_separator_insensitive(self, name):
+        assert get_policy(name).name in POLICIES
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_policy("round-robin")
+
+
+class TestOrderingKeys:
+    def test_fcfs_orders_by_arrival(self):
+        early, late = make_request(arrival=10), make_request(arrival=20)
+        assert FR_FCFS.request_key(early) < FR_FCFS.request_key(late)
+
+    def test_fcfs_ignores_finish_time(self):
+        a = make_request(arrival=10, vft=1e9)
+        b = make_request(arrival=20, vft=0.0)
+        assert FR_FCFS.request_key(a) < FR_FCFS.request_key(b)
+
+    def test_vftf_orders_by_finish_time(self):
+        a = make_request(arrival=20, vft=100.0)
+        b = make_request(arrival=10, vft=200.0)
+        assert FR_VFTF.request_key(a) < FR_VFTF.request_key(b)
+
+    def test_vftf_ties_break_by_arrival(self):
+        a = make_request(arrival=10, vft=100.0)
+        b = make_request(arrival=20, vft=100.0)
+        assert FQ_VFTF.request_key(a) < FQ_VFTF.request_key(b)
+
+    def test_keys_never_equal_for_distinct_requests(self):
+        a = make_request(arrival=10, vft=100.0)
+        b = make_request(arrival=10, vft=100.0)
+        assert FQ_VFTF.request_key(a) != FQ_VFTF.request_key(b)
+
+    @given(
+        arrivals=st.lists(st.integers(min_value=0, max_value=10**6), min_size=2, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fcfs_total_order_matches_sorted_arrivals(self, arrivals):
+        requests = [make_request(arrival=a) for a in arrivals]
+        ordered = sorted(requests, key=FR_FCFS.request_key)
+        assert [r.arrival_time for r in ordered] == sorted(arrivals)
+
+    @given(
+        vfts=st.lists(
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_vftf_total_order_matches_sorted_finish_times(self, vfts):
+        requests = [make_request(vft=v) for v in vfts]
+        ordered = sorted(requests, key=FQ_VFTF.request_key)
+        assert [r.virtual_finish_time for r in ordered] == sorted(vfts)
+
+
+class TestBoundOverride:
+    def test_custom_bound(self):
+        policy = fq_vftf_with_bound(360)
+        assert policy.fq_bank_rule
+        assert policy.inversion_bound == 360
+
+    def test_zero_bound_allowed(self):
+        assert fq_vftf_with_bound(0).inversion_bound == 0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            fq_vftf_with_bound(-1)

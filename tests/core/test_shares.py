@@ -1,0 +1,63 @@
+"""Service-share allocation helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shares import equal_shares, validate_shares, weighted_shares
+
+
+class TestEqualShares:
+    @pytest.mark.parametrize("n, expected", [(1, 1.0), (2, 0.5), (4, 0.25)])
+    def test_values(self, n, expected):
+        assert equal_shares(n) == [expected] * n
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            equal_shares(0)
+
+
+class TestValidateShares:
+    def test_accepts_exact_sum_of_one(self):
+        assert validate_shares([0.5, 0.5]) == [0.5, 0.5]
+
+    def test_accepts_undersubscription(self):
+        assert validate_shares([0.25, 0.25]) == [0.25, 0.25]
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError, match="over-subscribed"):
+            validate_shares([0.75, 0.5])
+
+    def test_rejects_zero_share(self):
+        with pytest.raises(ValueError):
+            validate_shares([0.0, 0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_shares([])
+
+
+class TestWeightedShares:
+    def test_three_to_one(self):
+        assert weighted_shares([3, 1]) == [0.75, 0.25]
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            weighted_shares([1, 0])
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_normalizes_and_validates(self, weights):
+        shares = weighted_shares(weights)
+        assert sum(shares) == pytest.approx(1.0)
+        validate_shares(shares)
+        # Order preserved: bigger weight, bigger share.
+        for (w1, s1), (w2, s2) in zip(
+            zip(weights, shares), list(zip(weights, shares))[1:]
+        ):
+            if w1 < w2:
+                assert s1 <= s2 + 1e-12

@@ -1,0 +1,168 @@
+"""Set-associative cache: hits, LRU, dirty lines, MSHR merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import Cache, CacheConfig, L1D_CONFIG, L2_CONFIG, MshrFile
+
+
+def small_cache(assoc=2, sets=4):
+    return Cache(CacheConfig(size_bytes=assoc * sets * 64, assoc=assoc))
+
+
+class TestConfigValidation:
+    def test_table5_configs(self):
+        assert L1D_CONFIG.size_bytes == 32 * 1024
+        assert L1D_CONFIG.assoc == 4
+        assert L2_CONFIG.size_bytes == 512 * 1024
+        assert L2_CONFIG.assoc == 8
+        assert L2_CONFIG.latency == 12
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, assoc=3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 2 * 64, assoc=2)
+
+    def test_num_sets(self):
+        assert CacheConfig(size_bytes=8 * 1024, assoc=2).num_sets == 64
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0x10)
+        cache.fill(0x10)
+        assert cache.lookup(0x10)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_contains_does_not_disturb(self):
+        cache = small_cache()
+        cache.fill(0x10)
+        cache.contains(0x10)
+        assert cache.hits == 0
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(1)
+        cache.fill(2)
+        cache.lookup(1)  # 1 now MRU
+        evicted = cache.fill(3)
+        assert evicted == (2, False)
+        assert cache.contains(1)
+        assert not cache.contains(2)
+
+    def test_fill_of_present_line_updates_lru(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(1)  # refresh 1
+        evicted = cache.fill(3)
+        assert evicted[0] == 2
+
+    def test_different_sets_do_not_interfere(self):
+        cache = small_cache(assoc=1, sets=4)
+        cache.fill(0)
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.contains(0)
+        assert cache.contains(1)
+
+
+class TestDirtyState:
+    def test_write_lookup_marks_dirty(self):
+        cache = small_cache()
+        cache.fill(5)
+        cache.lookup(5, mark_dirty=True)
+        assert cache.is_dirty(5)
+
+    def test_dirty_eviction_reported(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(1, dirty=True)
+        evicted = cache.fill(2)
+        assert evicted == (1, True)
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_not_a_writeback(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.writebacks == 0
+
+    def test_invalidate_returns_dirty_flag(self):
+        cache = small_cache()
+        cache.fill(1, dirty=True)
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+
+
+class TestCacheInvariants:
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                       max_size=300)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bounded_by_capacity(self, lines):
+        cache = small_cache(assoc=2, sets=4)
+        for line in lines:
+            cache.fill(line)
+        assert cache.occupancy() <= 8
+
+    @given(
+        lines=st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                       max_size=100)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_fill_always_present(self, lines):
+        cache = small_cache(assoc=2, sets=4)
+        for line in lines:
+            cache.fill(line)
+            assert cache.contains(line)
+
+
+class TestMshrFile:
+    def test_allocate_and_complete(self):
+        mshr = MshrFile(2)
+        assert mshr.allocate(0x10, "a")
+        assert mshr.outstanding(0x10)
+        assert mshr.complete(0x10) == ["a"]
+        assert not mshr.outstanding(0x10)
+
+    def test_merge_secondary_miss(self):
+        mshr = MshrFile(1)
+        mshr.allocate(0x10, "a")
+        assert mshr.allocate(0x10, "b")  # merges even though file is full
+        assert mshr.complete(0x10) == ["a", "b"]
+
+    def test_full_rejects_new_line(self):
+        mshr = MshrFile(1)
+        mshr.allocate(0x10, "a")
+        assert not mshr.allocate(0x20, "b")
+
+    def test_complete_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MshrFile(1).complete(0x10)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    @given(
+        ops=st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                     max_size=100)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_len_bounded_by_entries(self, ops):
+        mshr = MshrFile(4)
+        for line in ops:
+            if mshr.outstanding(line) and len(mshr) > 2:
+                mshr.complete(line)
+            else:
+                mshr.allocate(line, line)
+        assert len(mshr) <= 4

@@ -1,0 +1,102 @@
+"""Cache hierarchy: filtered/unfiltered paths, writeback propagation."""
+
+import pytest
+
+from repro.cpu.cache import CacheConfig
+from repro.cpu.hierarchy import CacheHierarchy
+
+SMALL_L1 = CacheConfig(size_bytes=2 * 64 * 2, assoc=2, latency=2)
+SMALL_L2 = CacheConfig(size_bytes=4 * 64 * 2, assoc=2, latency=12)
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(l1i=SMALL_L1, l1d=SMALL_L1, l2=SMALL_L2)
+
+
+class TestLineAddressing:
+    def test_line_of_strips_offset(self, hierarchy):
+        assert hierarchy.line_of(0x1000) == 0x40
+        assert hierarchy.line_of(0x103F) == 0x40
+
+    def test_line_address_round_trip(self, hierarchy):
+        assert hierarchy.line_address(hierarchy.line_of(0x1040)) == 0x1040
+
+    def test_mismatched_line_sizes_rejected(self):
+        odd = CacheConfig(size_bytes=4 * 128 * 2, assoc=2, line_bytes=128)
+        with pytest.raises(ValueError):
+            CacheHierarchy(l1i=SMALL_L1, l1d=SMALL_L1, l2=odd)
+
+
+class TestFilteredPath:
+    def test_miss_then_hit_after_fill(self, hierarchy):
+        result = hierarchy.access(0x1000, is_write=False)
+        assert result.hit_level is None
+        hierarchy.fill_from_memory(result.line, dirty=False)
+        again = hierarchy.access(0x1000, is_write=False)
+        assert again.hit_level == "l2"
+        assert again.latency == 12
+
+    def test_store_hit_dirties_line(self, hierarchy):
+        line = hierarchy.line_of(0x1000)
+        hierarchy.fill_from_memory(line, dirty=False)
+        hierarchy.access(0x1000, is_write=True)
+        assert hierarchy.l2.is_dirty(line)
+
+    def test_filtered_path_bypasses_l1(self, hierarchy):
+        line = hierarchy.line_of(0x1000)
+        hierarchy.fill_from_memory(line, dirty=False)
+        hierarchy.access(0x1000, is_write=False)
+        assert not hierarchy.l1d.contains(line)
+
+
+class TestUnfilteredPath:
+    def test_l1_hit_after_l2_hit(self, hierarchy):
+        line = hierarchy.line_of(0x2000)
+        hierarchy.fill_from_memory(line, dirty=False)
+        first = hierarchy.access_unfiltered(0x2000, is_write=False)
+        assert first.hit_level == "l2"
+        second = hierarchy.access_unfiltered(0x2000, is_write=False)
+        assert second.hit_level == "l1"
+        assert second.latency == 2
+
+    def test_l1_miss_l2_miss(self, hierarchy):
+        assert hierarchy.access_unfiltered(0x9000, is_write=False).hit_level is None
+
+    def test_dirty_l1_eviction_propagates_to_l2(self, hierarchy):
+        # Fill enough lines mapping to one L1 set to force an eviction
+        # of a dirty L1 line; the L2 copy must become dirty.
+        hierarchy.fill_from_memory(hierarchy.line_of(0x0), dirty=False, filtered=False)
+        hierarchy.access_unfiltered(0x0, is_write=True)  # dirty in L1
+        set_stride = 2 * 64  # 2 sets in SMALL_L1
+        for i in range(1, 3):
+            line = hierarchy.line_of(i * set_stride)
+            hierarchy.fill_from_memory(line, dirty=False, filtered=False)
+            hierarchy.access_unfiltered(i * set_stride, is_write=False)
+        assert hierarchy.l2.is_dirty(hierarchy.line_of(0x0))
+
+
+class TestWritebacks:
+    def test_dirty_l2_eviction_queues_writeback(self, hierarchy):
+        # SMALL_L2 has 4 sets, assoc 2; same-set lines are stride-4.
+        lines = [hierarchy.line_of(i * 4 * 64) for i in range(3)]
+        hierarchy.fill_from_memory(lines[0], dirty=True)
+        hierarchy.fill_from_memory(lines[1], dirty=False)
+        hierarchy.fill_from_memory(lines[2], dirty=False)  # evicts lines[0]
+        assert hierarchy.pending_writebacks == [lines[0]]
+        assert hierarchy.pop_writeback() == lines[0]
+        assert hierarchy.pop_writeback() is None
+
+    def test_clean_eviction_no_writeback(self, hierarchy):
+        lines = [hierarchy.line_of(i * 4 * 64) for i in range(3)]
+        for line in lines:
+            hierarchy.fill_from_memory(line, dirty=False)
+        assert hierarchy.writeback_pressure() == 0
+
+    def test_eviction_invalidates_l1_copy(self, hierarchy):
+        lines = [hierarchy.line_of(i * 4 * 64) for i in range(3)]
+        hierarchy.fill_from_memory(lines[0], dirty=False, filtered=False)
+        assert hierarchy.l1d.contains(lines[0])
+        hierarchy.fill_from_memory(lines[1], dirty=False)
+        hierarchy.fill_from_memory(lines[2], dirty=False)
+        assert not hierarchy.l1d.contains(lines[0])

@@ -1,0 +1,122 @@
+"""Stream prefetcher: training, confirmation ramp, budget."""
+
+import pytest
+
+from repro.cpu.prefetch import PrefetchConfig, StreamPrefetcher
+
+
+def make(**kwargs):
+    return StreamPrefetcher(PrefetchConfig(**kwargs))
+
+
+def train_sequential(prefetcher, start, count, now=0):
+    for i in range(count):
+        prefetcher.train(start + i, now + i)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PrefetchConfig()
+        assert config.streams == 8
+        assert config.enabled
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(streams=0)
+        with pytest.raises(ValueError):
+            PrefetchConfig(issue_per_cycle=0)
+
+
+class TestTraining:
+    def test_single_access_no_prefetch(self):
+        prefetcher = make()
+        prefetcher.train(100, 0)
+        assert prefetcher.candidates(0, 1) == []
+
+    def test_two_sequential_accesses_not_yet_confirmed(self):
+        prefetcher = make()
+        train_sequential(prefetcher, 100, 2)
+        assert prefetcher.candidates(0, 2) == []
+
+    def test_three_sequential_accesses_confirm_stream(self):
+        prefetcher = make()
+        train_sequential(prefetcher, 100, 3)
+        lines = prefetcher.candidates(0, 3)
+        assert lines
+        assert lines[0] == 103
+
+    def test_random_accesses_never_confirm(self):
+        prefetcher = make()
+        for i, line in enumerate([10, 500, 90, 4000, 77, 1234]):
+            prefetcher.train(line, i)
+        assert prefetcher.candidates(0, 10) == []
+
+    def test_active_streams_counter(self):
+        prefetcher = make()
+        train_sequential(prefetcher, 100, 4)
+        assert prefetcher.active_streams == 1
+
+
+class TestRamp:
+    def test_lookahead_grows_with_confirmations(self):
+        prefetcher = make(depth=16, budget=64, issue_per_cycle=64)
+        train_sequential(prefetcher, 100, 3)  # confirms = 2 → 2 ahead
+        early = prefetcher.candidates(0, 10)
+        assert len(early) == 2
+        prefetcher2 = make(depth=16, budget=64, issue_per_cycle=64)
+        train_sequential(prefetcher2, 100, 10)  # confirms = 9 → 16 capped
+        late = prefetcher2.candidates(0, 10)
+        assert len(late) == 16
+
+    def test_depth_caps_lookahead(self):
+        prefetcher = make(depth=4, budget=64, issue_per_cycle=64)
+        train_sequential(prefetcher, 100, 50)
+        assert len(prefetcher.candidates(0, 100)) == 4
+
+
+class TestBudget:
+    def test_outstanding_limits_issue(self):
+        prefetcher = make(depth=16, budget=4, issue_per_cycle=16)
+        train_sequential(prefetcher, 100, 10)
+        assert len(prefetcher.candidates(outstanding=3, now=10)) == 1
+        train_sequential(prefetcher, 200, 10)
+        assert prefetcher.candidates(outstanding=4, now=30) == []
+
+    def test_issue_per_cycle_limits(self):
+        prefetcher = make(depth=16, budget=64, issue_per_cycle=2)
+        train_sequential(prefetcher, 100, 10)
+        assert len(prefetcher.candidates(0, 10)) == 2
+
+    def test_frontier_advances_monotonically(self):
+        prefetcher = make(depth=16, budget=64, issue_per_cycle=4)
+        train_sequential(prefetcher, 100, 10)
+        first = prefetcher.candidates(0, 10)
+        second = prefetcher.candidates(0, 11)
+        assert not set(first) & set(second)
+
+
+class TestDemandCatchup:
+    def test_demand_inside_window_advances_stream(self):
+        prefetcher = make(depth=8, budget=64, issue_per_cycle=8)
+        train_sequential(prefetcher, 100, 5)
+        prefetcher.candidates(0, 5)
+        # Demand jumps to a prefetched line: stream keeps tracking.
+        prefetcher.train(106, 6)
+        lines = prefetcher.candidates(0, 7)
+        assert all(line > 106 for line in lines)
+
+
+class TestDisabled:
+    def test_disabled_prefetcher_inert(self):
+        prefetcher = make(enabled=False)
+        train_sequential(prefetcher, 100, 20)
+        assert prefetcher.candidates(0, 20) == []
+        assert prefetcher.active_streams == 0
+
+
+class TestStreamTable:
+    def test_lru_eviction_bounded_table(self):
+        prefetcher = make(streams=2)
+        for base in (100, 2000, 30000, 400000):
+            train_sequential(prefetcher, base, 3)
+        assert len(prefetcher._streams) <= 2 + 1  # bounded

@@ -1,0 +1,64 @@
+"""Trace records and file round-trips."""
+
+import pytest
+
+from repro.cpu.trace import TraceRecord, read_trace, trace_from_list, write_trace
+
+
+class TestRecordValidation:
+    def test_valid_record(self):
+        record = TraceRecord(inst_gap=10, is_write=False, address=0x1000, dep=1)
+        assert record.inst_gap == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"inst_gap": -1, "is_write": False, "address": 0},
+            {"inst_gap": 0, "is_write": False, "address": -64},
+            {"inst_gap": 0, "is_write": False, "address": 0, "dep": -1},
+        ],
+    )
+    def test_invalid_record(self, kwargs):
+        with pytest.raises(ValueError):
+            TraceRecord(**kwargs)
+
+    def test_records_are_immutable(self):
+        record = TraceRecord(1, False, 0x40)
+        with pytest.raises(AttributeError):
+            record.address = 0
+
+
+class TestFileRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        records = [
+            TraceRecord(5, False, 0x1000, 0),
+            TraceRecord(0, True, 0x2040, 2),
+            TraceRecord(100, False, 0xFFFF0, 1),
+        ]
+        path = tmp_path / "trace.txt"
+        count = write_trace(path, records)
+        assert count == 3
+        assert list(read_trace(path)) == records
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n5 L 0x40 0\n")
+        assert list(read_trace(path)) == [TraceRecord(5, False, 0x40, 0)]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("5 L 0x40\n")
+        with pytest.raises(ValueError, match="malformed"):
+            list(read_trace(path))
+
+    def test_bad_op_raises(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("5 X 0x40 0\n")
+        with pytest.raises(ValueError, match="bad op"):
+            list(read_trace(path))
+
+
+class TestListAdapter:
+    def test_trace_from_list_iterates(self):
+        records = [TraceRecord(1, False, 0x40)]
+        assert list(trace_from_list(records)) == records

@@ -1,0 +1,174 @@
+"""Bank state machine: transitions and per-constraint timing enforcement."""
+
+import pytest
+
+from repro.dram.bank import Bank, IllegalCommandError
+from repro.dram.commands import CommandType
+from repro.dram.timing import DDR2Timing
+
+
+@pytest.fixture
+def timing():
+    return DDR2Timing()
+
+
+@pytest.fixture
+def bank(timing):
+    return Bank(0, timing)
+
+
+def open_row(bank, row=7, at=1000):
+    bank.issue(CommandType.ACTIVATE, row, at)
+    return at
+
+
+class TestStateTransitions:
+    def test_starts_closed(self, bank):
+        assert not bank.is_open
+        assert bank.open_row is None
+
+    def test_activate_opens_row(self, bank):
+        open_row(bank, row=7)
+        assert bank.is_open
+        assert bank.open_row == 7
+        assert bank.row_hit(7)
+        assert not bank.row_hit(8)
+
+    def test_precharge_closes_row(self, bank, timing):
+        at = open_row(bank)
+        bank.issue(CommandType.PRECHARGE, 0, at + timing.t_ras)
+        assert not bank.is_open
+
+    def test_activate_while_open_is_illegal(self, bank):
+        at = open_row(bank)
+        with pytest.raises(IllegalCommandError):
+            bank.issue(CommandType.ACTIVATE, 3, at + 10_000)
+
+    def test_cas_while_closed_is_illegal(self, bank):
+        with pytest.raises(IllegalCommandError):
+            bank.issue(CommandType.READ, 0, 10_000)
+
+    def test_precharge_while_closed_is_illegal(self, bank):
+        with pytest.raises(IllegalCommandError):
+            bank.issue(CommandType.PRECHARGE, 0, 10_000)
+
+    def test_cas_to_wrong_row_is_illegal(self, bank, timing):
+        at = open_row(bank, row=7)
+        with pytest.raises(IllegalCommandError):
+            bank.issue(CommandType.READ, 8, at + timing.t_rcd)
+
+
+class TestTimingConstraints:
+    def test_trcd_activate_to_read(self, bank, timing):
+        at = open_row(bank)
+        with pytest.raises(IllegalCommandError):
+            bank.issue(CommandType.READ, 7, at + timing.t_rcd - 1)
+        bank.issue(CommandType.READ, 7, at + timing.t_rcd)
+
+    def test_trcd_activate_to_write(self, bank, timing):
+        at = open_row(bank)
+        bank.issue(CommandType.WRITE, 7, at + timing.t_rcd)
+
+    def test_tras_activate_to_precharge(self, bank, timing):
+        at = open_row(bank)
+        with pytest.raises(IllegalCommandError):
+            bank.issue(CommandType.PRECHARGE, 0, at + timing.t_ras - 1)
+        bank.issue(CommandType.PRECHARGE, 0, at + timing.t_ras)
+
+    def test_trp_precharge_to_activate(self, bank, timing):
+        at = open_row(bank)
+        pre_at = at + timing.t_ras
+        bank.issue(CommandType.PRECHARGE, 0, pre_at)
+        with pytest.raises(IllegalCommandError):
+            bank.issue(CommandType.ACTIVATE, 1, pre_at + timing.t_rp - 1)
+        bank.issue(CommandType.ACTIVATE, 1, pre_at + timing.t_rp)
+
+    def test_trc_activate_to_activate_same_bank(self, bank, timing):
+        at = open_row(bank)
+        bank.issue(CommandType.PRECHARGE, 0, at + timing.t_ras)
+        # t_rc > t_ras + t_rp would bind; with Table 6 values t_rc binds
+        # at at + 220 while precharge-done is at + 230, so precharge-done
+        # governs.  Verify both constraints via earliest_activate.
+        expected = max(at + timing.t_rc, at + timing.t_ras + timing.t_rp)
+        assert bank.earliest_activate() == expected
+
+    def test_trtp_read_to_precharge(self, bank, timing):
+        at = open_row(bank)
+        read_at = at + timing.t_rcd
+        bank.issue(CommandType.READ, 7, read_at)
+        earliest = bank.earliest_precharge()
+        assert earliest >= read_at + timing.t_rtp
+        assert earliest >= at + timing.t_ras
+
+    def test_twr_write_to_precharge(self, bank, timing):
+        at = open_row(bank)
+        write_at = at + timing.t_rcd
+        bank.issue(CommandType.WRITE, 7, write_at)
+        data_end = write_at + timing.t_wl + timing.burst
+        assert bank.earliest_precharge() >= data_end + timing.t_wr
+
+    def test_issue_before_earliest_raises(self, bank, timing):
+        at = open_row(bank)
+        with pytest.raises(IllegalCommandError, match="violates timing"):
+            bank.issue(CommandType.READ, 7, at + 1)
+
+
+class TestServiceTimes:
+    """state_service_time implements the paper's Table 3."""
+
+    def test_closed_bank(self, bank, timing):
+        assert bank.state_service_time(5) == timing.service_closed
+
+    def test_row_hit(self, bank, timing):
+        open_row(bank, row=5)
+        assert bank.state_service_time(5) == timing.service_row_hit
+
+    def test_conflict(self, bank, timing):
+        open_row(bank, row=5)
+        assert bank.state_service_time(6) == timing.service_conflict
+
+
+class TestEarliestIssue:
+    def test_activate_on_open_bank_returns_none(self, bank):
+        open_row(bank)
+        assert bank.earliest_issue(CommandType.ACTIVATE) is None
+
+    def test_cas_on_closed_bank_returns_none(self, bank):
+        assert bank.earliest_issue(CommandType.READ) is None
+        assert bank.earliest_issue(CommandType.WRITE) is None
+
+    def test_precharge_on_closed_bank_returns_none(self, bank):
+        assert bank.earliest_issue(CommandType.PRECHARGE) is None
+
+    def test_refresh_command_rejected(self, bank):
+        with pytest.raises(ValueError):
+            bank.earliest_issue(CommandType.REFRESH)
+
+
+class TestBusyAccounting:
+    def test_busy_cycles_accumulate_activate_to_precharge_done(self, bank, timing):
+        at = open_row(bank)
+        pre_at = at + timing.t_ras
+        bank.issue(CommandType.PRECHARGE, 0, pre_at)
+        assert bank.busy_cycles == pre_at + timing.t_rp - at
+
+    def test_busy_cycles_at_counts_open_interval(self, bank, timing):
+        at = open_row(bank)
+        assert bank.busy_cycles_at(at + 100) == 100
+
+    def test_command_counters(self, bank, timing):
+        at = open_row(bank)
+        bank.issue(CommandType.PRECHARGE, 0, at + timing.t_ras)
+        assert bank.activate_count == 1
+        assert bank.precharge_count == 1
+
+
+class TestRefresh:
+    def test_refresh_requires_closed_bank(self, bank):
+        open_row(bank)
+        with pytest.raises(IllegalCommandError):
+            bank.refresh(5000)
+
+    def test_refresh_blocks_activate_for_trfc(self, bank, timing):
+        bank.refresh(1000)
+        assert bank.earliest_activate() >= 1000 + timing.t_rfc

@@ -1,0 +1,87 @@
+"""Channel constraints: address bus, data bus, t_ccd."""
+
+import pytest
+
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandType
+from repro.dram.timing import DDR2Timing
+
+
+@pytest.fixture
+def timing():
+    return DDR2Timing()
+
+
+@pytest.fixture
+def channel(timing):
+    return Channel(timing)
+
+
+class TestAddressBus:
+    def test_one_command_per_cycle(self, channel):
+        channel.issue(CommandType.ACTIVATE, 1000)
+        assert channel.earliest_issue(CommandType.ACTIVATE) == 1001
+        assert channel.earliest_issue(CommandType.PRECHARGE) == 1001
+
+    def test_issue_same_cycle_raises(self, channel):
+        channel.issue(CommandType.ACTIVATE, 1000)
+        with pytest.raises(ValueError):
+            channel.issue(CommandType.PRECHARGE, 1000)
+
+
+class TestTccd:
+    def test_cas_to_cas_spacing(self, channel, timing):
+        channel.issue(CommandType.READ, 1000)
+        assert channel.earliest_issue(CommandType.READ) >= 1000 + timing.t_ccd
+
+    def test_ras_unaffected_by_tccd(self, channel, timing):
+        channel.issue(CommandType.READ, 1000)
+        assert channel.earliest_issue(CommandType.ACTIVATE) == 1001
+
+
+class TestDataBus:
+    def test_read_reserves_data_bus(self, channel, timing):
+        channel.issue(CommandType.READ, 1000)
+        assert channel.data_bus_free == 1000 + timing.t_cl + timing.burst
+
+    def test_write_reserves_data_bus(self, channel, timing):
+        channel.issue(CommandType.WRITE, 1000)
+        assert channel.data_bus_free == 1000 + timing.t_wl + timing.burst
+
+    def test_back_to_back_reads_never_overlap_data(self, channel, timing):
+        channel.issue(CommandType.READ, 1000)
+        t2 = channel.earliest_issue(CommandType.READ)
+        first_end = 1000 + timing.t_cl + timing.burst
+        assert t2 + timing.t_cl >= first_end
+
+    def test_write_after_read_waits_for_read_burst(self, channel, timing):
+        # t_wl < t_cl, so a write issued too soon after a read would
+        # collide on the data bus; the channel must delay it.
+        channel.issue(CommandType.READ, 1000)
+        t_write = channel.earliest_issue(CommandType.WRITE)
+        read_end = 1000 + timing.t_cl + timing.burst
+        assert t_write + timing.t_wl >= read_end
+
+
+class TestStatistics:
+    def test_utilization_counts_burst_cycles(self, channel, timing):
+        channel.issue(CommandType.READ, 0)
+        next_read = channel.earliest_issue(CommandType.READ)
+        channel.issue(CommandType.READ, next_read)
+        assert channel.data_busy_cycles == 2 * timing.burst
+        assert channel.utilization(800) == pytest.approx(2 * timing.burst / 800)
+
+    def test_utilization_empty_window(self, channel):
+        assert channel.utilization(0) == 0.0
+
+    def test_cas_counters(self, channel, timing):
+        channel.issue(CommandType.READ, 0)
+        channel.issue(CommandType.WRITE, channel.earliest_issue(CommandType.WRITE))
+        assert channel.cas_count == 2
+        assert channel.read_count == 1
+        assert channel.write_count == 1
+
+    def test_ras_commands_do_not_count_as_cas(self, channel):
+        channel.issue(CommandType.ACTIVATE, 0)
+        assert channel.cas_count == 0
+        assert channel.data_busy_cycles == 0

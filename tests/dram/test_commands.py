@@ -1,0 +1,24 @@
+"""SDRAM command taxonomy."""
+
+from repro.dram.commands import Command, CommandType
+
+
+class TestTaxonomy:
+    def test_cas_commands(self):
+        assert CommandType.READ.is_cas
+        assert CommandType.WRITE.is_cas
+        assert not CommandType.ACTIVATE.is_cas
+        assert not CommandType.PRECHARGE.is_cas
+        assert not CommandType.REFRESH.is_cas
+
+    def test_ras_commands(self):
+        assert CommandType.ACTIVATE.is_ras
+        assert CommandType.PRECHARGE.is_ras
+        assert not CommandType.READ.is_ras
+        assert not CommandType.REFRESH.is_ras
+
+    def test_command_carries_coordinates(self):
+        command = Command(CommandType.ACTIVATE, bank=3, row=17)
+        assert command.bank == 3
+        assert command.row == 17
+        assert command.request is None

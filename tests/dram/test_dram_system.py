@@ -1,0 +1,125 @@
+"""DramSystem: combined legality, command streams, refresh engine."""
+
+import pytest
+
+from repro.dram.commands import CommandType
+from repro.dram.dram_system import DramSystem
+from repro.dram.timing import DDR2Timing
+
+
+@pytest.fixture
+def timing():
+    return DDR2Timing()
+
+
+@pytest.fixture
+def dram(timing):
+    return DramSystem(timing, num_ranks=1, num_banks=8, enable_refresh=False)
+
+
+def do_read(dram, bank=0, row=5, start=1000):
+    """Drive a full closed-page read: ACT, RD, PRE.  Returns PRE time."""
+    t = dram.timing
+    dram.issue(CommandType.ACTIVATE, 0, bank, row, start)
+    read_at = start + t.t_rcd
+    dram.issue(CommandType.READ, 0, bank, row, read_at)
+    pre_at = max(start + t.t_ras, read_at + t.t_rtp)
+    dram.issue(CommandType.PRECHARGE, 0, bank, row, pre_at)
+    return pre_at
+
+
+class TestCombinedConstraints:
+    def test_full_read_sequence_legal(self, dram):
+        do_read(dram)
+
+    def test_earliest_issue_combines_bank_and_channel(self, dram, timing):
+        dram.issue(CommandType.ACTIVATE, 0, 0, 5, 1000)
+        # Bank 1 activate limited by t_rrd (rank) and address bus.
+        earliest = dram.earliest_issue(CommandType.ACTIVATE, 0, 1)
+        assert earliest == 1000 + timing.t_rrd
+
+    def test_interleaved_banks_share_data_bus(self, dram, timing):
+        dram.issue(CommandType.ACTIVATE, 0, 0, 5, 1000)
+        dram.issue(CommandType.ACTIVATE, 0, 1, 9, 1000 + timing.t_rrd)
+        read0_at = 1000 + timing.t_rcd
+        dram.issue(CommandType.READ, 0, 0, 5, read0_at)
+        earliest_read1 = dram.earliest_issue(CommandType.READ, 0, 1)
+        assert earliest_read1 >= read0_at + timing.t_ccd
+
+    def test_illegal_issue_raises(self, dram):
+        with pytest.raises(RuntimeError):
+            dram.issue(CommandType.READ, 0, 0, 5, 1000)
+
+    def test_premature_issue_raises(self, dram):
+        dram.issue(CommandType.ACTIVATE, 0, 0, 5, 1000)
+        with pytest.raises(RuntimeError, match="violates timing"):
+            dram.issue(CommandType.READ, 0, 0, 5, 1001)
+
+    def test_can_issue_matches_earliest(self, dram, timing):
+        dram.issue(CommandType.ACTIVATE, 0, 0, 5, 1000)
+        assert not dram.can_issue(CommandType.READ, 0, 0, 1000 + timing.t_rcd - 1)
+        assert dram.can_issue(CommandType.READ, 0, 0, 1000 + timing.t_rcd)
+
+
+class TestCompletionTiming:
+    def test_read_data_available(self, dram, timing):
+        assert dram.read_data_available(100) == 100 + timing.t_cl + timing.burst
+
+    def test_write_data_done(self, dram, timing):
+        assert dram.write_data_done(100) == 100 + timing.t_wl + timing.burst
+
+
+class TestTopology:
+    def test_bank_iteration(self, dram):
+        banks = list(dram.iter_banks())
+        assert len(banks) == 8
+        assert banks[0][0] == 0  # rank index
+
+    def test_multi_rank(self, timing):
+        dram = DramSystem(timing, num_ranks=2, num_banks=4, enable_refresh=False)
+        assert dram.num_ranks == 2
+        assert dram.num_banks == 4
+        assert len(list(dram.iter_banks())) == 8
+
+    def test_rejects_zero_ranks(self, timing):
+        with pytest.raises(ValueError):
+            DramSystem(timing, num_ranks=0)
+
+
+class TestRefreshEngine:
+    def test_refresh_due_after_interval(self, timing):
+        dram = DramSystem(timing, enable_refresh=True)
+        assert not dram.refresh_due(timing.t_refi - 1)
+        assert dram.refresh_due(timing.t_refi)
+
+    def test_refresh_waits_for_open_rows(self, timing):
+        dram = DramSystem(timing, enable_refresh=True)
+        dram.issue(CommandType.ACTIVATE, 0, 0, 5, timing.t_refi - 10)
+        assert not dram.try_start_refresh(timing.t_refi)
+
+    def test_refresh_blocks_commands_for_trfc(self, timing):
+        dram = DramSystem(timing, enable_refresh=True)
+        start = timing.t_refi
+        assert dram.try_start_refresh(start)
+        assert dram.in_refresh(start)
+        assert dram.in_refresh(start + timing.t_rfc - 1)
+        assert not dram.in_refresh(start + timing.t_rfc)
+        assert not dram.can_issue(CommandType.ACTIVATE, 0, 0, start + 5)
+        assert dram.can_issue(CommandType.ACTIVATE, 0, 0, start + timing.t_rfc)
+
+    def test_refresh_reschedules(self, timing):
+        dram = DramSystem(timing, enable_refresh=True)
+        assert dram.try_start_refresh(timing.t_refi)
+        assert dram.next_refresh_due == timing.t_refi + timing.t_refi
+        assert dram.refresh_count == 1
+        assert dram.refresh_cycles == timing.t_rfc
+
+    def test_refresh_disabled(self, dram, timing):
+        assert not dram.refresh_due(10 * timing.t_refi)
+        assert not dram.try_start_refresh(10 * timing.t_refi)
+
+    def test_issue_during_refresh_raises(self, timing):
+        dram = DramSystem(timing, enable_refresh=True)
+        dram.try_start_refresh(timing.t_refi)
+        with pytest.raises(RuntimeError, match="refresh"):
+            dram.issue(CommandType.ACTIVATE, 0, 0, 5, timing.t_refi + 1)

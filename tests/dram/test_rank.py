@@ -1,0 +1,67 @@
+"""Rank-level constraints: t_rrd and t_wtr across banks."""
+
+import pytest
+
+from repro.dram.commands import CommandType
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR2Timing
+
+
+@pytest.fixture
+def timing():
+    return DDR2Timing()
+
+
+@pytest.fixture
+def rank(timing):
+    return Rank(0, timing, num_banks=8)
+
+
+class TestTopology:
+    def test_bank_count(self, rank):
+        assert len(rank) == 8
+        assert len(rank.banks) == 8
+
+    def test_rejects_zero_banks(self, timing):
+        with pytest.raises(ValueError):
+            Rank(0, timing, num_banks=0)
+
+
+class TestTrrd:
+    def test_activate_to_activate_different_banks(self, rank, timing):
+        rank.issue(CommandType.ACTIVATE, 0, 5, 1000)
+        earliest = rank.earliest_issue(CommandType.ACTIVATE, 1)
+        assert earliest == 1000 + timing.t_rrd
+
+    def test_no_rank_constraint_on_precharge(self, rank, timing):
+        rank.issue(CommandType.ACTIVATE, 0, 5, 1000)
+        assert rank.earliest_issue(CommandType.PRECHARGE, 0) == 0
+
+
+class TestTwtr:
+    def test_write_to_read_anywhere_in_rank(self, rank, timing):
+        rank.issue(CommandType.ACTIVATE, 0, 5, 1000)
+        write_at = 1000 + timing.t_rcd
+        rank.issue(CommandType.WRITE, 0, 5, write_at)
+        data_end = write_at + timing.t_wl + timing.burst
+        # A read to a *different* bank still waits for t_wtr.
+        assert rank.earliest_issue(CommandType.READ, 3) == data_end + timing.t_wtr
+
+    def test_write_does_not_delay_writes(self, rank, timing):
+        rank.issue(CommandType.ACTIVATE, 0, 5, 1000)
+        rank.issue(CommandType.WRITE, 0, 5, 1000 + timing.t_rcd)
+        assert rank.earliest_issue(CommandType.WRITE, 0) == 0
+
+
+class TestRefresh:
+    def test_all_closed_initially(self, rank):
+        assert rank.all_closed()
+
+    def test_not_all_closed_with_open_row(self, rank):
+        rank.issue(CommandType.ACTIVATE, 2, 9, 1000)
+        assert not rank.all_closed()
+
+    def test_refresh_applies_to_every_bank(self, rank, timing):
+        rank.refresh(2000)
+        for bank in rank.banks:
+            assert bank.earliest_activate() >= 2000 + timing.t_rfc

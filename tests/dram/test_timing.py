@@ -1,0 +1,127 @@
+"""DDR2Timing: Table 6 values, validation, and time-scaling."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.timing import DDR2Timing, DRAM_CLOCK_RATIO
+
+
+class TestTable6Defaults:
+    """The defaults encode the paper's Table 6 in processor cycles."""
+
+    def test_clock_ratio_is_ten(self):
+        assert DRAM_CLOCK_RATIO == 10
+
+    @pytest.mark.parametrize(
+        "field, dram_clocks",
+        [
+            ("t_rcd", 5),
+            ("t_cl", 5),
+            ("t_wl", 4),
+            ("t_ccd", 2),
+            ("t_wtr", 3),
+            ("t_wr", 6),
+            ("t_rtp", 3),
+            ("t_rp", 5),
+            ("t_rrd", 3),
+            ("t_ras", 18),
+            ("t_rc", 22),
+            ("burst", 4),
+        ],
+    )
+    def test_main_rows_scaled_by_clock_ratio(self, field, dram_clocks):
+        timing = DDR2Timing()
+        assert getattr(timing, field) == dram_clocks * DRAM_CLOCK_RATIO
+
+    def test_refresh_rows_already_in_processor_cycles(self):
+        timing = DDR2Timing()
+        assert timing.t_rfc == 510
+        assert timing.t_refi == 280_000
+
+    def test_dram_access_time_is_140_cycles(self):
+        timing = DDR2Timing()
+        assert timing.t_rcd + timing.t_cl + timing.burst == 140
+
+
+class TestValidation:
+    def test_rejects_nonpositive_constraint(self):
+        with pytest.raises(ValueError, match="t_rcd"):
+            DDR2Timing(t_rcd=0)
+
+    def test_rejects_negative_constraint(self):
+        with pytest.raises(ValueError):
+            DDR2Timing(burst=-4)
+
+    def test_rejects_t_ras_below_t_rcd(self):
+        with pytest.raises(ValueError, match="t_ras"):
+            DDR2Timing(t_ras=30, t_rcd=50, t_rc=220)
+
+    def test_rejects_t_rc_below_t_ras(self):
+        with pytest.raises(ValueError, match="t_rc"):
+            DDR2Timing(t_rc=100, t_ras=180)
+
+
+class TestScaling:
+    def test_scaled_doubles_constraints(self):
+        base = DDR2Timing()
+        scaled = base.scaled(2.0)
+        assert scaled.t_cl == 2 * base.t_cl
+        assert scaled.burst == 2 * base.burst
+        assert scaled.t_rc == 2 * base.t_rc
+
+    def test_scaled_preserves_refresh_interval(self):
+        # t_refi is a wall-clock deadline, not a device speed.
+        assert DDR2Timing().scaled(2.0).t_refi == DDR2Timing().t_refi
+
+    def test_scale_by_one_is_identity(self):
+        base = DDR2Timing()
+        scaled = base.scaled(1.0)
+        assert dataclasses.asdict(scaled) == dataclasses.asdict(base)
+
+    def test_fractional_scale_never_reaches_zero(self):
+        scaled = DDR2Timing().scaled(0.001)
+        assert scaled.t_ccd >= 1
+        assert scaled.burst >= 1
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            DDR2Timing().scaled(0)
+
+    def test_four_way_scaling_for_cmp4_baseline(self):
+        scaled = DDR2Timing().scaled(4.0)
+        assert scaled.burst == 160
+        assert scaled.t_cl == 200
+
+
+class TestDerivedServiceTimes:
+    """Paper Table 3 and Table 4 service times."""
+
+    def test_table3_row_hit(self):
+        t = DDR2Timing()
+        assert t.service_row_hit == t.t_cl
+
+    def test_table3_closed(self):
+        t = DDR2Timing()
+        assert t.service_closed == t.t_rcd + t.t_cl
+
+    def test_table3_conflict(self):
+        t = DDR2Timing()
+        assert t.service_conflict == t.t_rp + t.t_rcd + t.t_cl
+
+    def test_table4_precharge_update(self):
+        t = DDR2Timing()
+        assert t.update_precharge == t.t_rp + (t.t_ras - t.t_rcd - t.t_cl)
+
+    def test_table4_activate_read_write_updates(self):
+        t = DDR2Timing()
+        assert t.update_activate == t.t_rcd
+        assert t.update_read == t.t_cl
+        assert t.update_write == t.t_wl
+
+    def test_table4_covers_full_bank_occupancy(self):
+        # precharge + activate + read updates together account for the
+        # full activate→precharge-done bank occupancy of a read.
+        t = DDR2Timing()
+        total = t.update_precharge + t.update_activate + t.update_read
+        assert total == t.t_ras + t.t_rp

@@ -1,0 +1,84 @@
+"""Ablation drivers at small scale: plumbing and coarse shapes."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    render_accounting_sweep,
+    render_buffer_sweep,
+    render_discipline_sweep,
+    render_inversion_sweep,
+    render_share_sweep,
+    sweep_buffers,
+    sweep_discipline,
+    sweep_inversion_bound,
+    sweep_shares,
+    sweep_vft_accounting,
+)
+from repro.sim.runner import clear_solo_cache
+
+CYCLES = 10_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_solo_cache()
+    yield
+    clear_solo_cache()
+
+
+class TestInversionBound:
+    def test_sweep_structure(self):
+        rows = sweep_inversion_bound(bounds=(0, 180, None), cycles=CYCLES)
+        assert [r.bound for r in rows] == [0, 180, None]
+        for row in rows:
+            assert row.subject_norm_ipc > 0
+            assert 0 < row.data_bus_utilization <= 1
+        assert "unbounded" in render_inversion_sweep(rows)
+
+
+class TestShares:
+    def test_bandwidth_tracks_share(self):
+        rows = sweep_shares(shares=(0.25, 0.75), cycles=CYCLES)
+        assert rows[0].subject_bus_utilization < rows[1].subject_bus_utilization
+        assert "φ" in render_share_sweep(rows) or "0.25" in render_share_sweep(rows)
+
+
+class TestBuffers:
+    def test_sweep_structure(self):
+        rows = sweep_buffers(sizes=(4, 16), cycles=CYCLES)
+        assert [r.read_entries for r in rows] == [4, 16]
+        assert rows[0].write_entries == 2
+        assert "read entries" in render_buffer_sweep(rows)
+
+
+class TestAccounting:
+    def test_both_policies_run(self):
+        rows = sweep_vft_accounting(cycles=CYCLES)
+        assert {r.policy for r in rows} == {"FQ-VFTF", "FQ-VFTF-ARR"}
+        for row in rows:
+            assert row.hit_heavy_norm_ipc > 0
+            assert row.random_norm_ipc > 0
+        assert "FQ-VFTF-ARR" in render_accounting_sweep(rows)
+
+
+class TestDiscipline:
+    def test_both_disciplines_provide_isolation(self):
+        rows = sweep_discipline(cycles=CYCLES)
+        assert {r.policy for r in rows} == {"FQ-VFTF", "FQ-VSTF"}
+        for row in rows:
+            assert row.subject_norm_ipc > 0.6
+        assert "FQ-VSTF" in render_discipline_sweep(rows)
+
+
+class TestWriteDrain:
+    def test_sweep_structure(self):
+        from repro.experiments.ablations import (
+            render_write_drain_sweep,
+            sweep_write_drain,
+        )
+
+        rows = sweep_write_drain(cycles=CYCLES, policies=("FR-FCFS",))
+        assert [r.write_drain for r in rows] == ["fcfs", "watermark"]
+        for row in rows:
+            assert 0 < row.data_bus_utilization <= 1
+        assert "watermark" in render_write_drain_sweep(rows)

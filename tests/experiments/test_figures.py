@@ -1,0 +1,148 @@
+"""Experiment drivers: structure and small-scale shape checks.
+
+Full-scale regeneration lives in benchmarks/; here each driver runs at
+reduced cycle counts to validate plumbing, normalization, and the
+coarsest qualitative shapes.
+"""
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.pairs import run_pairs
+from repro.experiments.quads import run_quads
+from repro.sim.runner import clear_solo_cache
+
+CYCLES = 12_000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_solo_cache()
+    yield
+    clear_solo_cache()
+
+
+@pytest.fixture(scope="module")
+def pair_outcomes():
+    # Restrict to a representative subject subset via monkey-free
+    # approach: run the full pair list at small scale once per module.
+    return run_pairs(cycles=CYCLES)
+
+
+@pytest.fixture(scope="module")
+def quad_outcomes():
+    return run_quads(cycles=CYCLES)
+
+
+class TestFigure1:
+    def test_rows_and_shape(self):
+        result = run_figure1(cycles=CYCLES)
+        assert [r.configuration for r in result.rows] == [
+            "vpr alone",
+            "vpr + crafty",
+            "vpr + art",
+        ]
+        alone = result.row("vpr alone")
+        with_art = result.row("vpr + art")
+        assert with_art.read_latency > 1.5 * alone.read_latency
+        assert with_art.ipc < alone.ipc
+        assert "vpr + art" in result.render()
+
+
+class TestFigure4:
+    def test_twenty_rows_roughly_ordered(self):
+        result = run_figure4(cycles=CYCLES)
+        assert len(result.rows) == 20
+        utils = [r.bus_utilization for r in result.rows]
+        # art at or near the top (short windows allow small noise);
+        # tail clearly lowest.
+        assert utils[0] >= 0.9 * max(utils)
+        assert max(utils[-3:]) < 0.1
+        assert result.utilizations()["art"] > 0.5
+
+    def test_render(self):
+        result = run_figure4(cycles=CYCLES)
+        assert "art" in result.render()
+
+
+class TestFigure5:
+    def test_nineteen_subjects_three_policies(self, pair_outcomes):
+        result = run_figure5(outcomes=pair_outcomes)
+        assert len(result.rows) == 19 * 3
+        assert len(result.for_policy("FQ-VFTF")) == 19
+
+    def test_fq_beats_frfcfs_on_hmean(self, pair_outcomes):
+        result = run_figure5(outcomes=pair_outcomes)
+        assert result.harmonic_mean_norm_ipc(
+            "FQ-VFTF"
+        ) > result.harmonic_mean_norm_ipc("FR-FCFS")
+
+    def test_fq_meets_more_qos(self, pair_outcomes):
+        result = run_figure5(outcomes=pair_outcomes)
+        assert result.qos_met_count("FQ-VFTF") > result.qos_met_count("FR-FCFS")
+
+    def test_render_contains_summary(self, pair_outcomes):
+        out = run_figure5(outcomes=pair_outcomes).render()
+        assert "hmean normalized IPC" in out
+
+
+class TestFigure6:
+    def test_series_ordered_by_aggressiveness(self, pair_outcomes):
+        result = run_figure6(outcomes=pair_outcomes)
+        series = result.series("FQ-VFTF")
+        assert len(series) == 19
+        # Background receives more excess against meek subjects: the
+        # average of the last five exceeds the average of the first five.
+        assert sum(series[-5:]) / 5 > sum(series[:5]) / 5
+
+    def test_background_positive(self, pair_outcomes):
+        result = run_figure6(outcomes=pair_outcomes)
+        assert all(r.background_norm_ipc > 0 for r in result.rows)
+
+
+class TestFigure7:
+    def test_improvement_baseline_is_zero(self, pair_outcomes):
+        result = run_figure7(outcomes=pair_outcomes)
+        for row in result.for_policy("FR-FCFS"):
+            assert row.improvement_over_frfcfs == pytest.approx(0.0)
+
+    def test_fq_mean_improvement_positive(self, pair_outcomes):
+        result = run_figure7(outcomes=pair_outcomes)
+        assert result.mean_improvement("FQ-VFTF") > 0
+
+    def test_bus_utilization_stays_high(self, pair_outcomes):
+        result = run_figure7(outcomes=pair_outcomes)
+        assert result.mean_bus_utilization("FQ-VFTF") > 0.8 * (
+            result.mean_bus_utilization("FR-FCFS")
+        )
+
+
+class TestFigure8:
+    def test_structure(self, quad_outcomes):
+        result = run_figure8(outcomes=quad_outcomes)
+        assert len(result.workloads) == 4
+        assert result.workloads[0] == ("art", "lucas", "apsi", "ammp")
+        assert len(result.threads) == 4 * 4 * 2
+
+    def test_fq_raises_worst_thread(self, quad_outcomes):
+        result = run_figure8(outcomes=quad_outcomes)
+        assert result.min_norm_ipc("FQ-VFTF") > result.min_norm_ipc("FR-FCFS")
+
+
+class TestFigure9:
+    def test_variance_reduction(self, quad_outcomes):
+        result = run_figure9(cycles=CYCLES, outcomes=quad_outcomes)
+        fr = result.utilization_variance("FR-FCFS")
+        fq = result.utilization_variance("FQ-VFTF")
+        assert fq < fr
+
+    def test_points_cover_all_threads(self, quad_outcomes):
+        result = run_figure9(cycles=CYCLES, outcomes=quad_outcomes)
+        assert len(result.points) == 32
+        assert "norm util variance" in result.render()

@@ -1,0 +1,38 @@
+"""Calibration regression: profiles still hit their Figure-4 targets.
+
+A silent change to the core model, prefetcher, or DRAM timing that
+shifts workload intensity would skew every figure; this test measures
+a representative subset of profiles solo and compares against the
+frozen calibration targets.
+"""
+
+import pytest
+
+from repro.workloads.calibration import solo_utilization
+from repro.workloads.spec2000 import TARGET_SOLO_UTILIZATION, profile
+
+#: Subset spanning the spectrum (full sweep lives in bench_figure4).
+CHECKED = ("art", "equake", "vpr", "gzip", "crafty")
+
+
+@pytest.mark.parametrize("name", CHECKED)
+def test_solo_utilization_near_target(name):
+    target = TARGET_SOLO_UTILIZATION[name]
+    measured = solo_utilization(profile(name), cycles=25_000, warmup=6_000)
+    assert measured == pytest.approx(target, rel=0.30, abs=0.01), (
+        f"{name}: measured {measured:.3f}, calibration target {target:.3f} — "
+        "re-run tools/run_calibration.py after model changes"
+    )
+
+
+def test_targets_cover_all_benchmarks():
+    from repro.workloads.spec2000 import BENCHMARKS
+
+    assert set(TARGET_SOLO_UTILIZATION) == {b.name for b in BENCHMARKS}
+
+
+def test_targets_strictly_ordered_with_roster():
+    from repro.workloads.spec2000 import BENCHMARKS
+
+    values = [TARGET_SOLO_UTILIZATION[b.name] for b in BENCHMARKS]
+    assert all(a >= b for a, b in zip(values, values[1:]))

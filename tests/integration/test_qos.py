@@ -1,0 +1,106 @@
+"""End-to-end QoS properties — the paper's core claims, at small scale.
+
+These runs use reduced cycle counts to stay test-suite friendly; the
+full-scale regenerations live in benchmarks/.
+"""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.system import CmpSystem
+from repro.workloads.spec2000 import profile
+
+CYCLES = 30_000
+WARMUP = 8_000
+
+
+def run_pair(subject, background, policy, shares=None, **kwargs):
+    config = SystemConfig(
+        num_cores=2, policy=policy, shares=shares, **kwargs
+    )
+    system = CmpSystem(config, [subject, background])
+    return system.run(CYCLES, warmup=WARMUP)
+
+
+@pytest.fixture(scope="module")
+def vpr_art_runs():
+    vpr, art = profile("vpr"), profile("art")
+    return {
+        policy: run_pair(vpr, art, policy)
+        for policy in ("FR-FCFS", "FR-VFTF", "FQ-VFTF")
+    }
+
+
+@pytest.fixture(scope="module")
+def vpr_solo_scaled():
+    config = SystemConfig(num_cores=2).scaled_baseline(2.0)
+    system = CmpSystem(config, [profile("vpr")])
+    return system.run(CYCLES, warmup=WARMUP)
+
+
+class TestDestructiveInterference:
+    """Figure 1's phenomenon must exist for FQ to have anything to fix."""
+
+    def test_frfcfs_latency_explodes_under_art(self, vpr_art_runs):
+        latency = vpr_art_runs["FR-FCFS"].threads[0].mean_read_latency
+        assert latency > 2.5 * 180  # far above unloaded
+
+    def test_fq_restores_latency(self, vpr_art_runs):
+        fr = vpr_art_runs["FR-FCFS"].threads[0].mean_read_latency
+        fq = vpr_art_runs["FQ-VFTF"].threads[0].mean_read_latency
+        assert fq < 0.6 * fr
+
+
+class TestQosObjective:
+    """A thread with share φ runs no slower than on a 1/φ-scaled
+    private memory system."""
+
+    def test_fq_meets_qos_for_vpr(self, vpr_art_runs, vpr_solo_scaled):
+        co_ipc = vpr_art_runs["FQ-VFTF"].threads[0].ipc
+        base_ipc = vpr_solo_scaled.threads[0].ipc
+        assert co_ipc / base_ipc > 0.9
+
+    def test_frfcfs_misses_qos_for_vpr(self, vpr_art_runs, vpr_solo_scaled):
+        co_ipc = vpr_art_runs["FR-FCFS"].threads[0].ipc
+        base_ipc = vpr_solo_scaled.threads[0].ipc
+        assert co_ipc / base_ipc < 0.85
+
+    def test_policy_ordering_for_subject(self, vpr_art_runs):
+        fr = vpr_art_runs["FR-FCFS"].threads[0].ipc
+        fq = vpr_art_runs["FQ-VFTF"].threads[0].ipc
+        assert fq > 1.2 * fr
+
+
+class TestFairnessUnderFq:
+    def test_bandwidth_roughly_even_for_two_heavy_threads(self):
+        art, swim = profile("art"), profile("swim")
+        result = run_pair(swim, art, "FQ-VFTF")
+        a = result.threads[0].bus_utilization
+        b = result.threads[1].bus_utilization
+        assert abs(a - b) / max(a, b) < 0.35
+
+    def test_meek_thread_keeps_only_its_demand(self):
+        gzip_p, art = profile("gzip"), profile("art")
+        result = run_pair(gzip_p, art, "FQ-VFTF")
+        # gzip demands ~8%; art should still get the excess.
+        assert result.threads[1].bus_utilization > 0.5
+
+
+class TestAsymmetricShares:
+    def test_larger_share_more_bandwidth(self):
+        equake, art = profile("equake"), profile("art")
+        small = run_pair(equake, art, "FQ-VFTF", shares=[0.25, 0.75])
+        large = run_pair(equake, art, "FQ-VFTF", shares=[0.75, 0.25])
+        assert (
+            large.threads[0].bus_utilization
+            > 1.3 * small.threads[0].bus_utilization
+        )
+
+
+class TestThroughputPreserved:
+    def test_fq_keeps_high_aggregate_utilization(self):
+        swim, art = profile("swim"), profile("art")
+        fr = run_pair(swim, art, "FR-FCFS")
+        fq = run_pair(swim, art, "FQ-VFTF")
+        assert fq.data_bus_utilization > 0.85 * fr.data_bus_utilization
+        assert fq.data_bus_utilization > 0.7

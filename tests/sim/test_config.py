@@ -1,0 +1,56 @@
+"""SystemConfig: validation, derived values, baseline construction."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+
+
+class TestValidation:
+    def test_default_is_paper_duo(self):
+        config = SystemConfig()
+        assert config.num_cores == 2
+        assert config.num_banks == 8
+        assert config.read_entries_per_thread == 16
+        assert config.write_entries_per_thread == 8
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=0)
+
+    def test_rejects_mismatched_shares(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=2, shares=[1.0])
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            SystemConfig(front_latency=-1)
+
+
+class TestDerived:
+    def test_unloaded_read_latency_is_180(self):
+        # The paper's unloaded latency: 20 + (50 + 50 + 40) + 20.
+        assert SystemConfig().unloaded_read_latency() == 180
+
+
+class TestScaledBaseline:
+    def test_single_core_fr_fcfs(self):
+        base = SystemConfig(num_cores=4, policy="FQ-VFTF").scaled_baseline(4.0)
+        assert base.num_cores == 1
+        assert base.policy == "FR-FCFS"
+        assert base.shares is None
+
+    def test_timing_scaled(self):
+        base = SystemConfig().scaled_baseline(2.0)
+        assert base.timing.t_cl == 100
+        assert base.timing.burst == 80
+
+    def test_core_unchanged(self):
+        config = SystemConfig()
+        base = config.scaled_baseline(2.0)
+        assert base.core == config.core
+        assert base.l2 == config.l2
+
+    def test_unloaded_latency_scales_dram_only(self):
+        base = SystemConfig().scaled_baseline(2.0)
+        # 20 + (100 + 100 + 80) + 20
+        assert base.unloaded_read_latency() == 320

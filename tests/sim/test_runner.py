@@ -1,0 +1,74 @@
+"""Run helpers: memoization, baselines, normalized-IPC plumbing."""
+
+import pytest
+
+from repro.sim.runner import (
+    clear_solo_cache,
+    coscheduled_pair,
+    default_warmup,
+    run_group,
+    run_solo,
+    run_workload,
+)
+from repro.workloads.spec2000 import profile
+
+CYCLES = 6_000
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_solo_cache()
+    yield
+    clear_solo_cache()
+
+
+class TestRunSolo:
+    def test_memoized(self):
+        a = run_solo(profile("gzip"), cycles=CYCLES)
+        b = run_solo(profile("gzip"), cycles=CYCLES)
+        assert a is b  # same cached object
+
+    def test_scale_changes_result(self):
+        a = run_solo(profile("gzip"), cycles=CYCLES)
+        b = run_solo(profile("gzip"), scale=2.0, cycles=CYCLES)
+        assert a is not b
+        assert a.threads[0].ipc >= b.threads[0].ipc
+
+    def test_single_thread(self):
+        result = run_solo(profile("gzip"), cycles=CYCLES)
+        assert len(result.threads) == 1
+        assert result.threads[0].name == "gzip"
+
+
+class TestRunWorkloadAndGroup:
+    def test_policy_applied(self):
+        result = run_workload(
+            [profile("gzip"), profile("gap")], "FQ-VFTF", cycles=CYCLES
+        )
+        assert result.policy == "FQ-VFTF"
+        assert len(result.threads) == 2
+
+    def test_group_memoized(self):
+        a = run_group([profile("gzip"), profile("gap")], "FR-FCFS", cycles=CYCLES)
+        b = run_group([profile("gzip"), profile("gap")], "FR-FCFS", cycles=CYCLES)
+        assert a is b
+
+    def test_group_distinguishes_policy(self):
+        a = run_group([profile("gzip"), profile("gap")], "FR-FCFS", cycles=CYCLES)
+        b = run_group([profile("gzip"), profile("gap")], "FQ-VFTF", cycles=CYCLES)
+        assert a is not b
+
+
+class TestCoscheduledPair:
+    def test_returns_normalized_ipcs(self):
+        result, n_subject, n_background = coscheduled_pair(
+            profile("gzip"), profile("gap"), "FQ-VFTF", cycles=CYCLES
+        )
+        assert n_subject > 0
+        assert n_background > 0
+        assert result.threads[0].name == "gzip"
+
+
+class TestWarmup:
+    def test_default_warmup_fraction(self):
+        assert default_warmup(1000) == 250

@@ -1,0 +1,152 @@
+"""Metrics: harmonic mean, variance, fair-share waterfilling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.metrics import (
+    fair_share_targets,
+    harmonic_mean,
+    improvement,
+    jain_index,
+    normalized,
+    variance,
+)
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_total_unfairness(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([-1.0])
+        with pytest.raises(ValueError):
+            jain_index([0.0, 0.0])
+
+    @given(values=st.lists(st.floats(0.01, 100), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, values):
+        index = jain_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+class TestHarmonicMean:
+    def test_equal_values(self):
+        assert harmonic_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 0.5]) == pytest.approx(2 / 3)
+
+    def test_dominated_by_small_values(self):
+        assert harmonic_mean([0.1, 10.0]) < 0.2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(values=st.lists(st.floats(0.01, 100), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_between_min_and_max(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-9 <= hm <= max(values) + 1e-9
+
+
+class TestVariance:
+    def test_constant_series(self):
+        assert variance([3.0, 3.0, 3.0]) == 0.0
+
+    def test_known_value(self):
+        assert variance([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            variance([])
+
+
+class TestNormalizedAndImprovement:
+    def test_normalized(self):
+        assert normalized(3.0, 2.0) == 1.5
+
+    def test_normalized_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalized(1.0, 0.0)
+
+    def test_improvement_positive(self):
+        assert improvement(1.31, 1.0) == pytest.approx(0.31)
+
+    def test_improvement_negative(self):
+        assert improvement(0.98, 1.0) == pytest.approx(-0.02)
+
+
+class TestFairShareTargets:
+    """Paper §4.2: target = min(solo, share + fair excess)."""
+
+    def test_all_demand_above_share(self):
+        targets = fair_share_targets([0.9, 0.9, 0.9, 0.9], [0.25] * 4)
+        assert targets == pytest.approx([0.25] * 4)
+
+    def test_meek_thread_capped_at_solo(self):
+        targets = fair_share_targets([0.05, 0.9], [0.5, 0.5])
+        assert targets[0] == pytest.approx(0.05)
+        # Excess flows to the hungry thread.
+        assert targets[1] == pytest.approx(0.9)
+
+    def test_excess_split_equally_among_hungry(self):
+        # One thread demands 0.1: excess 0.15 split among three hungry.
+        targets = fair_share_targets([0.1, 0.9, 0.9, 0.9], [0.25] * 4)
+        assert targets[0] == pytest.approx(0.1)
+        for t in targets[1:]:
+            assert t == pytest.approx(0.25 + 0.15 / 3)
+
+    def test_waterfilling_iterates(self):
+        # Thread 1's demand caps below the first-round grant; its
+        # leftover flows to thread 2.
+        targets = fair_share_targets([0.05, 0.3, 0.9], [1 / 3] * 3)
+        assert targets[0] == pytest.approx(0.05)
+        assert targets[1] == pytest.approx(0.3)
+        assert targets[2] == pytest.approx(0.65)
+
+    def test_paper_example_form(self):
+        # Four-processor: min(solo, 25% + fair-share excess).
+        solo = [0.86, 0.6, 0.4, 0.19]
+        targets = fair_share_targets(solo, [0.25] * 4)
+        assert targets[3] == pytest.approx(0.19)
+        assert sum(targets) <= 1.0 + 1e-9
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fair_share_targets([0.5], [0.25, 0.25])
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            fair_share_targets([-0.1], [1.0])
+
+    @given(
+        data=st.data(),
+        n=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, data, n):
+        demands = data.draw(
+            st.lists(st.floats(0, 1), min_size=n, max_size=n)
+        )
+        shares = [1.0 / n] * n
+        targets = fair_share_targets(demands, shares)
+        # Never exceeds demand; never exceeds total capacity.
+        for target, demand in zip(targets, demands):
+            assert target <= demand + 1e-9
+        assert sum(targets) <= 1.0 + 1e-6
+        # A thread demanding at least its share gets at least its share.
+        for target, demand in zip(targets, demands):
+            if demand >= 1.0 / n:
+                assert target >= 1.0 / n - 1e-9

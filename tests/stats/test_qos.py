@@ -1,0 +1,92 @@
+"""QoS report construction and verdicts."""
+
+import pytest
+
+from repro.sim.system import SimResult, ThreadResult
+from repro.stats.qos import QosReport, QosVerdict, qos_report
+
+
+def thread(name, ipc, cycles=1000):
+    return ThreadResult(
+        name=name,
+        instructions=ipc * cycles,
+        cycles=cycles,
+        mean_read_latency=200.0,
+        bus_utilization=0.3,
+        reads=100,
+        writes=10,
+        nacks=0,
+    )
+
+
+def result(ipcs, policy="FQ-VFTF"):
+    return SimResult(
+        policy=policy,
+        cycles=1000,
+        threads=[thread(f"t{i}", ipc) for i, ipc in enumerate(ipcs)],
+        data_bus_utilization=0.8,
+        bank_utilization=0.5,
+    )
+
+
+class TestVerdict:
+    def test_met_above_one(self):
+        verdict = QosVerdict("t", 0.5, 1.2, 1.0, slack=0.05)
+        assert verdict.met
+        assert verdict.normalized_ipc == pytest.approx(1.2)
+
+    def test_near_miss_within_slack(self):
+        assert QosVerdict("t", 0.5, 0.96, 1.0, slack=0.05).met
+
+    def test_missed_beyond_slack(self):
+        assert not QosVerdict("t", 0.5, 0.8, 1.0, slack=0.05).met
+
+
+class TestReport:
+    def test_counts_and_worst(self):
+        report = qos_report(result([1.2, 0.6]), baseline_ipcs=[1.0, 1.0])
+        assert report.met_count == 1
+        assert not report.all_met
+        assert report.worst.thread == "t1"
+
+    def test_all_met(self):
+        report = qos_report(result([1.2, 1.1]), baseline_ipcs=[1.0, 1.0])
+        assert report.all_met
+
+    def test_render(self):
+        report = qos_report(result([1.2, 0.6]), baseline_ipcs=[1.0, 1.0])
+        text = report.render()
+        assert "1/2 met" in text
+        assert "MISSED" in text
+
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            qos_report(result([1.0]), baseline_ipcs=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            qos_report(result([1.0, 1.0]), baseline_ipcs=[1.0, 1.0], shares=[1.0])
+
+    def test_validates_slack(self):
+        with pytest.raises(ValueError):
+            qos_report(result([1.0]), baseline_ipcs=[1.0], slack=1.5)
+
+    def test_default_equal_shares(self):
+        report = qos_report(result([1.0, 1.0, 1.0, 1.0]), baseline_ipcs=[1.0] * 4)
+        assert all(v.share == pytest.approx(0.25) for v in report.verdicts)
+
+
+class TestEndToEnd:
+    def test_report_from_real_run(self):
+        from repro.sim.runner import clear_solo_cache, run_solo, run_workload
+        from repro.workloads.spec2000 import profile
+
+        clear_solo_cache()
+        subject, background = profile("vpr"), profile("art")
+        co = run_workload([subject, background], "FQ-VFTF", cycles=15_000)
+        baselines = [
+            run_solo(p, scale=2.0, cycles=15_000).threads[0].ipc
+            for p in (subject, background)
+        ]
+        report = qos_report(co, baselines)
+        assert report.verdicts[0].thread == "vpr"
+        assert report.verdicts[0].met
+        clear_solo_cache()

@@ -1,0 +1,40 @@
+"""Table and key/value rendering."""
+
+import pytest
+
+from repro.stats.report import render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "value"], [("a", 1), ("longer", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        # All lines equal width structure: header and separator align.
+        assert len(lines[1]) >= len("name  value")
+
+    def test_floats_formatted(self):
+        out = render_table(["x"], [(0.123456,)])
+        assert "0.123" in out
+        assert "0.1235" not in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderKv:
+    def test_title_and_values(self):
+        out = render_kv("Summary", [("metric", 0.5), ("count", 3)])
+        assert out.splitlines()[0] == "Summary"
+        assert "0.5000" in out
+        assert "count" in out
+
+    def test_empty_pairs(self):
+        out = render_kv("T", [])
+        assert out.splitlines()[0] == "T"

@@ -1,0 +1,59 @@
+"""Repository-level hygiene: examples compile, public API is importable."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "script",
+        sorted(p.name for p in (REPO / "examples").glob("*.py")),
+    )
+    def test_example_compiles(self, script, tmp_path):
+        py_compile.compile(
+            str(REPO / "examples" / script),
+            cfile=str(tmp_path / (script + "c")),
+            doraise=True,
+        )
+
+    def test_at_least_three_examples(self):
+        assert len(list((REPO / "examples").glob("*.py"))) >= 3
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_subpackage_exports_resolve(self):
+        import importlib
+
+        for module_name in (
+            "repro.core",
+            "repro.dram",
+            "repro.controller",
+            "repro.cpu",
+            "repro.workloads",
+            "repro.sim",
+            "repro.stats",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_benchmark_per_figure(self):
+        benches = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        for figure in (1, 4, 5, 6, 7, 8, 9):
+            assert f"bench_figure{figure}.py" in benches

@@ -1,0 +1,38 @@
+"""Calibration utility: bisection on intensity hits a target utilization."""
+
+import pytest
+
+from repro.workloads.calibration import calibrate_intensity, solo_utilization
+from repro.workloads.synthetic import BenchmarkProfile
+
+TEMPLATE = BenchmarkProfile("cal", 8, 2.0, 500, 0.7, 2, 1 << 18, 0.1, 0.25)
+
+
+class TestSoloUtilization:
+    def test_returns_fraction(self):
+        util = solo_utilization(TEMPLATE, cycles=6_000, warmup=1_500)
+        assert 0.0 < util < 1.0
+
+
+class TestCalibrateIntensity:
+    def test_hits_reachable_target(self):
+        profile, util = calibrate_intensity(
+            TEMPLATE, target=0.25, tolerance=0.25, cycles=6_000
+        )
+        assert util == pytest.approx(0.25, rel=0.3)
+        assert profile.name == "cal"
+
+    def test_larger_target_means_smaller_gap(self):
+        hungry, _ = calibrate_intensity(
+            TEMPLATE, target=0.5, tolerance=0.3, cycles=6_000
+        )
+        modest, _ = calibrate_intensity(
+            TEMPLATE, target=0.05, tolerance=0.3, cycles=6_000
+        )
+        assert hungry.inter_burst_gap < modest.inter_burst_gap
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            calibrate_intensity(TEMPLATE, target=1.5)
+        with pytest.raises(ValueError):
+            calibrate_intensity(TEMPLATE, target=0.0)

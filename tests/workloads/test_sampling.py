@@ -1,0 +1,114 @@
+"""Trace sampling and representativeness validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.trace import TraceRecord
+from repro.workloads.sampling import (
+    Representativeness,
+    representativeness,
+    sample_trace,
+    trace_statistics,
+)
+from repro.workloads.spec2000 import profile
+from repro.workloads.synthetic import SyntheticTraceGenerator
+
+
+def homogeneous_trace(n=10_000, seed=3):
+    generator = SyntheticTraceGenerator(profile("equake"), seed=seed)
+    return generator.take(n)
+
+
+class TestTraceStatistics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_statistics([])
+
+    def test_known_values(self):
+        records = [
+            TraceRecord(9, False, 0 * 64, 0),
+            TraceRecord(9, True, 1 * 64, 1),
+            TraceRecord(9, False, 1 * 64, 0),
+        ]
+        stats = trace_statistics(records)
+        assert stats.records == 3
+        assert stats.instructions == 30
+        assert stats.mean_gap == pytest.approx(9.0)
+        assert stats.write_fraction == pytest.approx(1 / 3)
+        assert stats.dep_fraction == pytest.approx(1 / 3)
+        assert stats.sequential_fraction == pytest.approx(1 / 2)
+        assert stats.footprint_lines == 2
+
+
+class TestSampleTrace:
+    def test_rejects_oversampling(self):
+        with pytest.raises(ValueError):
+            sample_trace(homogeneous_trace(100), num_samples=20, sample_len=10)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            sample_trace(homogeneous_trace(100), 0, 10)
+
+    def test_single_sample_is_prefix(self):
+        records = homogeneous_trace(100)
+        assert sample_trace(records, 1, 10) == records[:10]
+
+    def test_sample_size(self):
+        sampled = sample_trace(homogeneous_trace(1000), 5, 20)
+        assert len(sampled) == 100
+
+    def test_samples_span_whole_trace(self):
+        records = homogeneous_trace(1000)
+        sampled = sample_trace(records, 4, 10)
+        # Last window ends at the trace's end.
+        assert sampled[-1] == records[-1]
+        assert sampled[0] == records[0]
+
+    @given(
+        n=st.integers(50, 500),
+        num=st.integers(1, 5),
+        length=st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_records_come_from_parent(self, n, num, length):
+        records = homogeneous_trace(n)
+        if num * length > n:
+            return
+        sampled = sample_trace(records, num, length)
+        assert len(sampled) == num * length
+        parent_set = {id(r) for r in records}
+        assert all(id(r) in parent_set for r in sampled)
+
+
+class TestRepresentativeness:
+    def test_good_sample_of_homogeneous_trace(self):
+        records = homogeneous_trace(20_000)
+        sampled = sample_trace(records, num_samples=20, sample_len=100)
+        verdict = representativeness(records, sampled)
+        assert isinstance(verdict, Representativeness)
+        assert verdict.representative, verdict.relative_errors
+
+    def test_biased_sample_rejected(self):
+        # A phase-changing trace: reads then all-writes.  A prefix-only
+        # sample misses the second phase entirely.
+        reads = [TraceRecord(10, False, i * 64, 0) for i in range(2000)]
+        writes = [TraceRecord(10, True, i * 64, 0) for i in range(2000)]
+        parent = reads + writes
+        prefix = parent[:200]
+        verdict = representativeness(parent, prefix)
+        assert not verdict.representative
+        assert verdict.relative_errors["write_fraction"] > 0.5
+
+    def test_even_sampling_fixes_phase_bias(self):
+        reads = [TraceRecord(10, False, i * 64, 0) for i in range(2000)]
+        writes = [TraceRecord(10, True, i * 64, 0) for i in range(2000)]
+        parent = reads + writes
+        sampled = sample_trace(parent, num_samples=40, sample_len=10)
+        verdict = representativeness(parent, sampled)
+        assert verdict.relative_errors["write_fraction"] < 0.1
+
+    def test_tolerance_validated(self):
+        records = homogeneous_trace(1000)
+        with pytest.raises(ValueError):
+            representativeness(records, records, tolerance=0)

@@ -1,0 +1,80 @@
+"""Benchmark roster and workload construction (paper §4.1–4.2)."""
+
+import pytest
+
+from repro.workloads.spec2000 import (
+    BACKGROUND,
+    BENCHMARKS,
+    BY_NAME,
+    four_proc_workloads,
+    profile,
+    two_proc_pairs,
+)
+
+
+class TestRoster:
+    def test_twenty_benchmarks(self):
+        assert len(BENCHMARKS) == 20
+
+    def test_unique_names(self):
+        names = [b.name for b in BENCHMARKS]
+        assert len(set(names)) == 20
+
+    def test_art_is_most_aggressive(self):
+        assert BENCHMARKS[0].name == "art"
+        assert BACKGROUND.name == "art"
+
+    def test_paper_named_benchmarks_present(self):
+        for name in ("art", "vpr", "crafty", "swim", "mgrid", "lucas", "apsi",
+                     "ammp", "gap", "gzip", "twolf", "sixtrack", "perlbmk"):
+            assert name in BY_NAME
+
+    def test_lookup(self):
+        assert profile("vpr").name == "vpr"
+        with pytest.raises(KeyError):
+            profile("doom")
+
+    def test_low_mlp_benchmarks_have_dep_chains(self):
+        # The paper singles out vpr/twolf as latency-sensitive with
+        # little memory parallelism.
+        assert profile("vpr").dep_frac >= 0.7
+        assert profile("twolf").dep_frac >= 0.7
+        assert profile("art").dep_frac == 0.0
+
+    def test_cache_resident_tail(self):
+        for name in ("sixtrack", "perlbmk", "crafty"):
+            assert BY_NAME[name].working_set_lines <= 1 << 14
+
+
+class TestTwoProcPairs:
+    def test_nineteen_pairs(self):
+        pairs = two_proc_pairs()
+        assert len(pairs) == 19
+
+    def test_background_always_art(self):
+        assert all(bg.name == "art" for _, bg in two_proc_pairs())
+
+    def test_art_never_subject(self):
+        assert all(subject.name != "art" for subject, _ in two_proc_pairs())
+
+
+class TestFourProcWorkloads:
+    def test_four_workloads_of_four(self):
+        workloads = four_proc_workloads()
+        assert len(workloads) == 4
+        assert all(len(w) == 4 for w in workloads)
+
+    def test_first_workload_matches_paper(self):
+        # "the first workload consists of the 1st, 5th, 9th, and 13th
+        # benchmarks (art, lucas, apsi, and ammp)"
+        names = [b.name for b in four_proc_workloads()[0]]
+        assert names == ["art", "lucas", "apsi", "ammp"]
+
+    def test_last_four_benchmarks_excluded(self):
+        used = {b.name for w in four_proc_workloads() for b in w}
+        for excluded in ("gap", "sixtrack", "perlbmk", "crafty"):
+            assert excluded not in used
+
+    def test_every_eligible_benchmark_used_once(self):
+        used = [b.name for w in four_proc_workloads() for b in w]
+        assert sorted(used) == sorted(b.name for b in BENCHMARKS[:16])

@@ -1,0 +1,100 @@
+"""Trace-file-driven workloads end to end."""
+
+import pytest
+
+from repro.cpu.trace import TraceRecord, write_trace
+from repro.sim.config import SystemConfig
+from repro.sim.system import CmpSystem
+from repro.workloads.trace_workload import TraceWorkload, workload_from_records
+
+
+def streaming_records(n=400, gap=40):
+    return [TraceRecord(gap, i % 5 == 0, i * 64, 0) for i in range(n)]
+
+
+class TestConstruction:
+    def test_needs_source(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(name="empty")
+
+    def test_rejects_negative_prewarm(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(name="t", records=[], prewarm_records=-1)
+
+
+class TestReplay:
+    def test_records_replayed_in_order(self):
+        records = streaming_records(10)
+        workload = workload_from_records("t", records, repeat=False)
+        replayed = list(workload.make_trace(seed=0, base_address=0))
+        assert replayed == records
+
+    def test_repeat_loops(self):
+        workload = workload_from_records("t", streaming_records(5), repeat=True)
+        stream = workload.make_trace(seed=0, base_address=0)
+        first_pass = [next(stream) for _ in range(5)]
+        second_pass = [next(stream) for _ in range(5)]
+        assert first_pass == second_pass
+
+    def test_base_address_rebases(self):
+        workload = workload_from_records("t", streaming_records(3))
+        rebased = list(
+            r.address for r in workload.prewarm_stream(seed=0, base_address=1 << 20)
+        )
+        assert all(a >= 1 << 20 for a in rebased)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        write_trace(path, streaming_records(20))
+        workload = TraceWorkload(name="filed", path=path, repeat=False)
+        assert len(list(workload.make_trace(0, 0))) == 20
+
+
+class TestInSystem:
+    def test_trace_workload_drives_a_core(self):
+        # Footprint far exceeds the 8192-line L2, so the replay
+        # generates real DRAM traffic.
+        workload = workload_from_records(
+            "replay", streaming_records(30_000, gap=60)
+        )
+        config = SystemConfig(num_cores=1)
+        system = CmpSystem(config, [workload])
+        result = system.run(20_000, warmup=2_000)
+        assert result.threads[0].name == "replay"
+        # The pure-sequential replay is fully covered by the stream
+        # prefetcher, so demand reads may be zero — bus traffic and
+        # writebacks prove DRAM is being driven.
+        assert result.threads[0].bus_utilization > 0.05
+        assert result.threads[0].writes > 0
+
+    def test_small_footprint_becomes_cache_resident(self):
+        # A 300-line trace fits in the L2: after prewarm it produces
+        # no memory reads at all — the cache substrate is doing its job.
+        workload = workload_from_records("tiny", streaming_records(300, gap=60))
+        config = SystemConfig(num_cores=1)
+        system = CmpSystem(config, [workload])
+        result = system.run(10_000, warmup=1_000)
+        assert result.threads[0].reads == 0
+        assert result.threads[0].ipc > 0
+
+    def test_mixed_with_synthetic_profile(self):
+        from repro.workloads.spec2000 import profile
+
+        workload = workload_from_records(
+            "replay", streaming_records(30_000, gap=60)
+        )
+        config = SystemConfig(num_cores=2, policy="FQ-VFTF")
+        system = CmpSystem(config, [workload, profile("art")])
+        result = system.run(15_000, warmup=2_000)
+        assert result.thread("replay").bus_utilization > 0.02
+        assert result.thread("art").bus_utilization > 0.2
+
+    def test_finite_trace_runs_dry_gracefully(self):
+        workload = workload_from_records(
+            "short", streaming_records(20, gap=10), repeat=False
+        )
+        config = SystemConfig(num_cores=1)
+        system = CmpSystem(config, [workload])
+        result = system.run(30_000, warmup=0)
+        assert result.cycles == 30_000
+        assert system.cores[0].finished

@@ -1,0 +1,45 @@
+"""Re-calibrate all 20 benchmark profiles and print frozen definitions.
+
+Uses the current profiles in ``repro.workloads.spec2000`` as templates
+and re-solves each one's intensity against its entry in
+``TARGET_SOLO_UTILIZATION``.  Run this after any change to the core
+model, prefetcher, or DRAM timing, then paste the output back into
+``spec2000.py`` (and update the target table if the spectrum moved).
+
+Usage: python tools/run_calibration.py
+"""
+
+import sys
+import time
+
+from repro.workloads.calibration import calibrate_intensity
+from repro.workloads.spec2000 import BENCHMARKS, TARGET_SOLO_UTILIZATION
+
+
+def main() -> None:
+    lines = []
+    for template in BENCHMARKS:
+        target = TARGET_SOLO_UTILIZATION[template.name]
+        t0 = time.time()
+        profile, util = calibrate_intensity(template, target)
+        elapsed = time.time() - t0
+        print(
+            f"{profile.name:10s} target={target:.3f} got={util:.3f} "
+            f"gap={profile.inter_burst_gap:.0f} ({elapsed:.0f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+        p = profile
+        ws = f"1 << {p.working_set_lines.bit_length() - 1}"
+        lines.append(
+            f'    BenchmarkProfile("{p.name}", {p.burst_len:g}, {p.burst_gap:g}, '
+            f"{p.inter_burst_gap:.0f}, {p.row_locality:g}, {p.num_streams}, "
+            f"{ws}, {p.dep_frac:g}, {p.write_frac:g}),  # ~{util:.3f}"
+        )
+    print("BENCHMARKS: List[BenchmarkProfile] = [")
+    print("\n".join(lines))
+    print("]")
+
+
+if __name__ == "__main__":
+    main()
