@@ -1,0 +1,70 @@
+"""Engine throughput: simulated cycles per wall-clock second.
+
+Times the raw cycle loop (no result cache, no fan-out) on the paper's
+flagship interference pair — vpr co-scheduled with art — under the
+first-ready baseline and the fair-queuing scheduler.  The measured
+rates land in ``BENCH_engine.json`` at the repository root so the
+performance trajectory is tracked across changes.
+
+Run length follows ``REPRO_SIM_CYCLES`` like every other benchmark, so
+CI can smoke-test with a short run while local measurements use the
+full default window.
+"""
+
+import json
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from conftest import once
+
+from repro.sim.runner import default_warmup, run_workload
+from repro.workloads.spec2000 import profile as lookup_profile
+
+POLICIES = ("FR-FCFS", "FQ-VFTF")
+ROUNDS = 3
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _cycles_per_second(policy: str, cycles: int) -> float:
+    """Best-of-N throughput of one fresh vpr+art simulation."""
+    profiles = [lookup_profile("vpr"), lookup_profile("art")]
+    warmup = default_warmup(cycles)
+    simulated = cycles + warmup
+    best = 0.0
+    for _ in range(ROUNDS):
+        start = perf_counter()
+        run_workload(profiles, policy, cycles=cycles, warmup=warmup)
+        elapsed = perf_counter() - start
+        best = max(best, simulated / elapsed)
+    return best
+
+
+def test_engine_throughput(benchmark, cycles):
+    rates = once(
+        benchmark,
+        lambda: {p: _cycles_per_second(p, cycles) for p in POLICIES},
+    )
+    print()
+    for policy, rate in rates.items():
+        print(f"  {policy:12s} {rate:10,.0f} simulated cycles/sec")
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "workload": "vpr+art",
+                "measurement_cycles": cycles,
+                "warmup_cycles": default_warmup(cycles),
+                "rounds": ROUNDS,
+                "python": platform.python_version(),
+                "cycles_per_second": {p: round(r, 1) for p, r in rates.items()},
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Sanity floor only: absolute rates vary wildly across machines.
+    for policy, rate in rates.items():
+        assert rate > 0, f"{policy} reported non-positive throughput"

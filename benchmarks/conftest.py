@@ -7,13 +7,18 @@ the session-scoped fixtures below make the sharing explicit, so
 ``pytest benchmarks/ --benchmark-only`` simulates each workload once.
 
 Run length follows ``REPRO_SIM_CYCLES`` (default 60,000 cycles of
-measurement per run, preceded by a 25% warmup).
+measurement per run, preceded by a 25% warmup).  Independent runs fan
+out across ``REPRO_JOBS`` worker processes, and completed runs persist
+in the on-disk result cache (``REPRO_CACHE_DIR``, disable with
+``REPRO_NO_CACHE=1``), so a re-invocation at the same settings replays
+from disk instead of re-simulating.
 """
 
 import pytest
 
 from repro.experiments.pairs import run_pairs
 from repro.experiments.quads import run_quads
+from repro.sim.parallel import default_jobs
 from repro.sim.runner import DEFAULT_CYCLES
 
 
@@ -23,15 +28,20 @@ def cycles():
 
 
 @pytest.fixture(scope="session")
-def pair_outcomes(cycles):
-    """The 19 subject+art co-runs under all three policies."""
-    return run_pairs(cycles=cycles)
+def jobs():
+    return default_jobs()
 
 
 @pytest.fixture(scope="session")
-def quad_outcomes(cycles):
+def pair_outcomes(cycles, jobs):
+    """The 19 subject+art co-runs under all three policies."""
+    return run_pairs(cycles=cycles, jobs=jobs)
+
+
+@pytest.fixture(scope="session")
+def quad_outcomes(cycles, jobs):
     """The four 4-thread desktop workloads under FR-FCFS and FQ-VFTF."""
-    return run_quads(cycles=cycles)
+    return run_quads(cycles=cycles, jobs=jobs)
 
 
 def once(benchmark, fn):

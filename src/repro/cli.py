@@ -42,25 +42,26 @@ from .experiments.ablations import (
     sweep_write_drain,
     render_write_drain_sweep,
 )
+from .sim.cache import configure_cache
 from .sim.runner import DEFAULT_CYCLES
 
 FIGURES = ("figure1", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9")
 
 
-def _run_figure(name: str, cycles: int, seed: int):
+def _run_figure(name: str, cycles: int, seed: int, jobs: Optional[int] = None):
     if name == "figure1":
-        return run_figure1(cycles=cycles, seed=seed)
+        return run_figure1(cycles=cycles, seed=seed, jobs=jobs)
     if name == "figure4":
-        return run_figure4(cycles=cycles, seed=seed)
+        return run_figure4(cycles=cycles, seed=seed, jobs=jobs)
     if name in ("figure5", "figure6", "figure7"):
-        outcomes = run_pairs(cycles=cycles, seed=seed)
+        outcomes = run_pairs(cycles=cycles, seed=seed, jobs=jobs)
         runner = {"figure5": run_figure5, "figure6": run_figure6, "figure7": run_figure7}
         return runner[name](outcomes=outcomes)
     if name in ("figure8", "figure9"):
-        outcomes = run_quads(cycles=cycles, seed=seed)
+        outcomes = run_quads(cycles=cycles, seed=seed, jobs=jobs)
         if name == "figure8":
             return run_figure8(outcomes=outcomes)
-        return run_figure9(cycles=cycles, seed=seed, outcomes=outcomes)
+        return run_figure9(cycles=cycles, seed=seed, outcomes=outcomes, jobs=jobs)
     raise ValueError(f"unknown figure {name!r}")
 
 
@@ -120,7 +121,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="also write machine-readable figure rows to this JSON file",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent runs (default REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="persistent result-cache directory (default REPRO_CACHE_DIR "
+        "or ~/.cache/repro-fqms)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache for this invocation",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs <= 0:
+        parser.error("--jobs must be positive")
+    configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
 
     targets = FIGURES + ("ablations",) if args.experiment == "all" else (args.experiment,)
     json_payloads = []
@@ -129,7 +151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if target == "ablations":
             body = _run_ablations(args.cycles, args.seed)
         else:
-            result = _run_figure(target, args.cycles, args.seed)
+            result = _run_figure(target, args.cycles, args.seed, jobs=args.jobs)
             body = result.render()
             json_payloads.append(_figure_json(target, result))
         elapsed = time.time() - started

@@ -71,6 +71,9 @@ class BankScheduler:
         self.rank = rank
         self.bank = bank
         self.dram = dram
+        #: Direct reference to this scheduler's Bank object (created
+        #: once by the DRAM system and never replaced).
+        self._bank = dram.bank(rank, bank)
         self.policy = policy
         self.vtms = vtms
         self.inversion_bound = inversion_bound
@@ -94,6 +97,12 @@ class BankScheduler:
         #: Bumped when the bank's row state changes; finish-time
         #: estimates depend on it through Table 3's service times.
         self._row_epoch = 0
+        #: Bumped on queue membership changes; part of the scan stamp
+        #: that lets :meth:`_refresh_finish_times` skip entirely.
+        self._queue_version = 0
+        #: Inputs of the last finish-time scan (thread epochs are
+        #: monotonic, so their sum is a valid version counter).
+        self._vft_scan_stamp: Optional[Tuple] = None
         if policy.uses_vtms and vtms is None:
             raise ValueError(f"policy {policy.name} requires VTMS state")
 
@@ -101,9 +110,11 @@ class BankScheduler:
 
     def add(self, request: MemoryRequest) -> None:
         self.queue.append(request)
+        self._queue_version += 1
 
     def remove(self, request: MemoryRequest) -> None:
         self.queue.remove(request)
+        self._queue_version += 1
 
     def __len__(self) -> int:
         return len(self.queue)
@@ -111,7 +122,22 @@ class BankScheduler:
     # -- helpers -------------------------------------------------------------
 
     def _bank_state(self):
-        return self.dram.bank(self.rank, self.bank)
+        return self._bank
+
+    def _request_key(self, request: MemoryRequest) -> Tuple:
+        """Policy ordering key, memoized per (request, VFT stamp).
+
+        FR-FCFS keys are fixed at arrival; VTMS keys change only when
+        :meth:`_refresh_finish_times` moves the request's ``vft_stamp``,
+        so the tuple is rebuilt exactly when its inputs changed.
+        """
+        stamp = request.vft_stamp
+        cached = request.key_cache
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        key = self.policy.request_key(request)
+        request.key_cache = (stamp, key)
+        return key
 
     def _next_command_kind(self, request: MemoryRequest) -> CommandType:
         """The first SDRAM command ``request`` needs in the current state."""
@@ -130,6 +156,18 @@ class BankScheduler:
         and the thread's current registers, so it tracks the service
         the thread has actually consumed.
         """
+        scan_stamp = (
+            self.vtms.global_epoch,
+            self._row_epoch,
+            self._queue_version,
+        )
+        if scan_stamp == self._vft_scan_stamp:
+            # VTMS registers, bank row state, and queue membership are
+            # all unchanged since the last scan, so every request's
+            # estimate is still current.  Epochs and the queue version
+            # only move on arrival/issue events, never on idle cycles.
+            return
+        self._vft_scan_stamp = scan_stamp
         bank = self._bank_state()
         row_epoch = self._row_epoch
         for request in self.queue:
@@ -146,9 +184,17 @@ class BankScheduler:
             )
             request.vft_stamp = stamp
 
-    def _candidate_for(self, request: MemoryRequest, now: int) -> CandidateCommand:
-        kind = self._next_command_kind(request)
-        ready = self.dram.can_issue(kind, self.rank, self.bank, now)
+    def _candidate_for(
+        self,
+        request: MemoryRequest,
+        now: int,
+        kind: Optional[CommandType] = None,
+        ready: Optional[bool] = None,
+    ) -> CandidateCommand:
+        if kind is None:
+            kind = self._next_command_kind(request)
+        if ready is None:
+            ready = self.dram.can_issue(kind, self.rank, self.bank, now)
         charge_thread = request.thread_id
         charge_arrival = request.virtual_arrival
         if kind is CommandType.PRECHARGE and self.open_row_thread is not None:
@@ -162,7 +208,7 @@ class BankScheduler:
             bank=self.bank,
             row=request.row,
             ready=ready,
-            key=self.policy.request_key(request),
+            key=self._request_key(request),
             request=request,
             charge_thread=charge_thread,
             charge_arrival=charge_arrival,
@@ -240,19 +286,47 @@ class BankScheduler:
             # FQ bank rule: commit to the earliest-virtual-finish-time
             # request and wait for its first command to become ready,
             # even if other requests (e.g. row hits) are ready now.
-            chosen = min(visible, key=self.policy.request_key)
+            chosen = min(visible, key=self._request_key)
             return self._candidate_for(chosen, now)
 
         # First-ready selection: prefer ready commands, then CAS over
-        # RAS, then the policy's ordering key.
-        best: Optional[CandidateCommand] = None
+        # RAS, then the policy's ordering key.  The winner alone gets a
+        # CandidateCommand; per-request work is a kind lookup (pure
+        # bank-state function) plus one shared readiness probe per
+        # distinct command kind (at most three per bank).
+        open_row = bank.open_row
+        ready_by_kind: dict = {}
+        best_request: Optional[MemoryRequest] = None
         best_sort: Optional[Tuple] = None
+        best_kind: Optional[CommandType] = None
+        activate, precharge = CommandType.ACTIVATE, CommandType.PRECHARGE
+        read, write = CommandType.READ, CommandType.WRITE
+        can_issue = self.dram.can_issue
+        policy_key = self.policy.request_key
         for request in visible:
-            cand = self._candidate_for(request, now)
-            sort = (not cand.ready, not cand.kind.is_cas, cand.key)
+            if open_row is None:
+                kind = activate
+            elif open_row == request.row:
+                kind = read if request.is_read else write
+            else:
+                kind = precharge
+            ready = ready_by_kind.get(kind)
+            if ready is None:
+                ready = can_issue(kind, self.rank, self.bank, now)
+                ready_by_kind[kind] = ready
+            stamp = request.vft_stamp
+            cached = request.key_cache
+            if cached is not None and cached[0] == stamp:
+                key = cached[1]
+            else:
+                key = policy_key(request)
+                request.key_cache = (stamp, key)
+            sort = (not ready, not kind.is_cas, key)
             if best_sort is None or sort < best_sort:
-                best, best_sort = cand, sort
-        return best
+                best_request, best_sort, best_kind = request, sort, kind
+        return self._candidate_for(
+            best_request, now, kind=best_kind, ready=not best_sort[0]
+        )
 
     def earliest_possible_issue(self, now: int) -> Optional[int]:
         """Earliest future cycle any of this bank's candidates could issue.
@@ -273,7 +347,7 @@ class BankScheduler:
             if now >= switch:
                 # Committed mode: only the earliest-virtual-finish-time
                 # request's first command can issue from this bank.
-                chosen = min(self.queue, key=self.policy.request_key)
+                chosen = min(self.queue, key=self._request_key)
                 t = self.dram.earliest_issue(
                     self._next_command_kind(chosen), self.rank, self.bank
                 )
@@ -293,22 +367,33 @@ class BankScheduler:
         return max(earliest, now + 1)
 
     def _first_ready_earliest(self, now: int) -> Optional[int]:
-        """Min earliest-issue over every candidate command of this bank."""
-        bank = self._bank_state()
-        earliest: Optional[int] = None
+        """Min earliest-issue over every candidate command of this bank.
 
-        def consider(kind: CommandType) -> None:
-            nonlocal earliest
+        Requests reduce to at most three distinct command kinds in any
+        bank state, so the DRAM timing query runs once per kind rather
+        than once per request.
+        """
+        bank = self._bank_state()
+        open_row = bank.open_row
+        kinds = set()
+        row_work = False
+        for request in self.queue:
+            if open_row is None:
+                kinds.add(CommandType.ACTIVATE)
+            elif open_row == request.row:
+                row_work = True
+                kinds.add(
+                    CommandType.READ if request.is_read else CommandType.WRITE
+                )
+            else:
+                kinds.add(CommandType.PRECHARGE)
+        if open_row is not None and not row_work:
+            kinds.add(CommandType.PRECHARGE)
+        earliest: Optional[int] = None
+        for kind in kinds:
             t = self.dram.earliest_issue(kind, self.rank, self.bank)
             if t is not None and (earliest is None or t < earliest):
                 earliest = t
-
-        for request in self.queue:
-            consider(self._next_command_kind(request))
-        if bank.open_row is not None and not any(
-            r.row == bank.open_row for r in self.queue
-        ):
-            consider(CommandType.PRECHARGE)
         return earliest
 
     # -- issue notification -------------------------------------------------
@@ -323,4 +408,4 @@ class BankScheduler:
             self.open_row_thread = None
             self._row_epoch += 1
         elif cand.kind.is_cas and cand.request is not None:
-            self.queue.remove(cand.request)
+            self.remove(cand.request)

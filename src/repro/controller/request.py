@@ -68,6 +68,10 @@ class MemoryRequest:
     #: Cache stamp (thread epoch, bank row epoch) for the finish-time
     #: estimate; recomputed only when either epoch moves.
     vft_stamp: Optional[tuple] = None
+    #: Memoized policy ordering key as (stamp, key); valid while the
+    #: request's ``vft_stamp`` still equals the recorded stamp (always,
+    #: for policies whose keys are fixed at arrival).
+    key_cache: Optional[tuple] = None
     cas_issued_at: Optional[int] = None
     completed_at: Optional[int] = None
 

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -85,14 +86,13 @@ class GpsServer:
         backlogged flow drains at rate share/(sum of backlogged shares).
         """
         remaining: List[float] = [0.0] * len(self.shares)
-        queue: Dict[int, List[float]] = {f: [] for f in range(len(self.shares))}
         order = sorted(range(len(packets)), key=lambda i: packets[i].arrival)
         finish = [0.0] * len(packets)
         pending = [(packets[i].arrival, i) for i in order]
         now = 0.0
         idx = 0
-        # Map (flow → list of (packet index) FIFO) with fluid service.
-        fifo: Dict[int, List[int]] = {f: [] for f in range(len(self.shares))}
+        # Map (flow → FIFO of packet indices) with fluid service.
+        fifo: Dict[int, Deque[int]] = {f: deque() for f in range(len(self.shares))}
 
         def backlogged() -> List[int]:
             return [f for f in range(len(self.shares)) if fifo[f]]
@@ -119,7 +119,7 @@ class GpsServer:
                     now += drain
                     for f in active:
                         if fifo[f] and remaining[f] <= 1e-12:
-                            done = fifo[f].pop(0)
+                            done = fifo[f].popleft()
                             finish[done] = now
                             remaining[f] = (
                                 packets[fifo[f][0]].length if fifo[f] else 0.0

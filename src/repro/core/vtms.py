@@ -43,6 +43,10 @@ class ThreadVtms:
         #: Bumped whenever any register changes; used to cache computed
         #: finish-time estimates.
         self.epoch: int = 0
+        #: Owning :class:`VtmsState`, when part of one; lets register
+        #: changes also bump the state-wide ``global_epoch`` so bank
+        #: schedulers can skip whole finish-time scans in O(1).
+        self.owner: Optional["VtmsState"] = None
         # Precomputed scaled service times (the paper notes these are
         # constants once the share register is written).
         inv = 1.0 / share
@@ -60,6 +64,13 @@ class ThreadVtms:
     def scaled_bank_service(self, bank_service: int) -> float:
         """``B.L / φ`` for an arbitrary bank service time."""
         return bank_service / self.share
+
+    def bump_epoch(self) -> None:
+        """Record a register change (thread-local and state-wide)."""
+        self.epoch += 1
+        owner = self.owner
+        if owner is not None:
+            owner.global_epoch += 1
 
     def start_time_estimate(self, bank: int) -> float:
         """Equation 3: the request's bank-service virtual start-time.
@@ -103,7 +114,7 @@ class ThreadVtms:
         self.bank_finish[bank] = bank_start + assumed_service / self.share
         channel_start = max(self.bank_finish[bank], self.channel_finish)
         self.channel_finish = channel_start + self._scaled_channel
-        self.epoch += 1
+        self.bump_epoch()
         return self.channel_finish
 
     def on_command_issued(self, kind: CommandType, bank: int, arrival: float) -> None:
@@ -125,7 +136,7 @@ class ThreadVtms:
                 max(self.bank_finish[bank], self.channel_finish)
                 + self._scaled_channel
             )
-        self.epoch += 1
+        self.bump_epoch()
 
 
 class VtmsState:
@@ -150,6 +161,12 @@ class VtmsState:
         self.threads: List[ThreadVtms] = [
             ThreadVtms(i, share, num_banks, timing) for i, share in enumerate(shares)
         ]
+        #: Monotonic count of register changes across all threads; a
+        #: cheap version number for "did anything move since my last
+        #: look" checks in the bank schedulers.
+        self.global_epoch: int = 0
+        for thread in self.threads:
+            thread.owner = self
         #: The FQ real clock (cycles, excluding refresh periods).
         self.clock: float = 0.0
 
@@ -175,4 +192,4 @@ class VtmsState:
         value = self.clock if arrival is None else arrival
         if value != thread.oldest_arrival:
             thread.oldest_arrival = value
-            thread.epoch += 1
+            thread.bump_epoch()

@@ -190,8 +190,10 @@ class OooCore:
         retired_mark = self._retired
         prefetch_mark = self.prefetcher.issued
         self._nack_blocked = False
-        self._complete_local(now)
-        self._drain_writebacks(now)
+        if self._local_done:
+            self._complete_local(now)
+        if self.hierarchy.pending_writebacks:
+            self._drain_writebacks(now)
         self._fetch(now)
         self._issue(now)
         self._retire(now)
@@ -234,7 +236,7 @@ class OooCore:
             if not self.submit(request):
                 self.stats.nacks += 1
                 break
-            self.hierarchy.pending_writebacks.pop(0)
+            self.hierarchy.pending_writebacks.popleft()
 
     def _fetch(self, now: int) -> None:
         while (

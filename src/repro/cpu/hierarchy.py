@@ -15,8 +15,9 @@ unit tests and by unfiltered trace workloads.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, Optional
 
 from .cache import Cache, CacheConfig, L1D_CONFIG, L1I_CONFIG, L2_CONFIG
 
@@ -54,8 +55,9 @@ class CacheHierarchy:
         self.l1d = Cache(l1d)
         self.l2 = Cache(l2)
         #: Dirty lines evicted from the L2, waiting to become writeback
-        #: requests to the memory controller.
-        self.pending_writebacks: List[int] = []
+        #: requests to the memory controller (FIFO; drained head-first
+        #: every core cycle, hence a deque).
+        self.pending_writebacks: Deque[int] = deque()
 
     def line_of(self, address: int) -> int:
         return address >> self._offset_bits
@@ -114,7 +116,7 @@ class CacheHierarchy:
     def pop_writeback(self) -> Optional[int]:
         """Take one queued writeback line, oldest first."""
         if self.pending_writebacks:
-            return self.pending_writebacks.pop(0)
+            return self.pending_writebacks.popleft()
         return None
 
     def writeback_pressure(self) -> int:

@@ -18,8 +18,9 @@ inert for them, exactly as on real hardware.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List
+from typing import Deque, List
 
 
 @dataclass(frozen=True)
@@ -63,7 +64,7 @@ class StreamPrefetcher:
 
     def __init__(self, config: PrefetchConfig):
         self.config = config
-        self._streams: List[_Stream] = []
+        self._streams: Deque[_Stream] = deque()
         self.issued = 0
         self.useful = 0
 
@@ -88,8 +89,13 @@ class StreamPrefetcher:
         stream = _Stream(next_line=line + 1, frontier=line + 1, last_used=now)
         self._streams.append(stream)
         if len(self._streams) > self.config.streams:
-            self._streams.sort(key=lambda s: s.last_used)
-            self._streams.pop(0)
+            # Evict the least-recently-used stream; keep the remaining
+            # deque in LRU order exactly as the previous in-place sort
+            # did, since stream order breaks ties in training.
+            self._streams = deque(
+                sorted(self._streams, key=lambda s: s.last_used)
+            )
+            self._streams.popleft()
 
     def candidates(self, outstanding: int, now: int) -> List[int]:
         """Lines to prefetch this cycle, respecting depth and budget."""
@@ -99,11 +105,13 @@ class StreamPrefetcher:
         budget = self.config.budget - outstanding
         if budget <= 0:
             return lines
+        confirmed = [s for s in self._streams if s.confirms >= 2]
+        if not confirmed:
+            # Common case for irregular workloads: streams train but
+            # never confirm, so there is nothing to sort or issue.
+            return lines
         quota = min(self.config.issue_per_cycle, budget)
-        for stream in sorted(
-            (s for s in self._streams if s.confirmed),
-            key=lambda s: s.frontier - s.next_line,
-        ):
+        for stream in sorted(confirmed, key=lambda s: s.frontier - s.next_line):
             # Ramp: a stream earns lookahead as it keeps confirming, so
             # short accidental runs (pointer-chasing codes) waste little
             # bandwidth while true streams reach full depth.

@@ -13,7 +13,13 @@ from typing import Optional
 
 
 class CommandType(enum.Enum):
-    """The five SDRAM commands the model issues."""
+    """The five SDRAM commands the model issues.
+
+    ``is_cas`` (column / data-moving) and ``is_ras`` (row / bank
+    management) are plain member attributes, not properties: the
+    scheduler consults them on every candidate comparison, making them
+    one of the hottest reads in the simulator.
+    """
 
     ACTIVATE = "activate"
     PRECHARGE = "precharge"
@@ -21,15 +27,11 @@ class CommandType(enum.Enum):
     WRITE = "write"
     REFRESH = "refresh"
 
-    @property
-    def is_cas(self) -> bool:
-        """True for column (data-moving) commands."""
-        return self in (CommandType.READ, CommandType.WRITE)
 
-    @property
-    def is_ras(self) -> bool:
-        """True for row (bank-management) commands."""
-        return self in (CommandType.ACTIVATE, CommandType.PRECHARGE)
+for _member in CommandType:
+    _member.is_cas = _member in (CommandType.READ, CommandType.WRITE)
+    _member.is_ras = _member in (CommandType.ACTIVATE, CommandType.PRECHARGE)
+del _member
 
 
 @dataclass

@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..sim.runner import DEFAULT_CYCLES, run_group, run_solo
+from typing import Optional
+
+from ..sim.parallel import group_spec, run_many, solo_spec
+from ..sim.runner import DEFAULT_CYCLES, default_warmup, run_group, run_solo
 from ..stats.report import render_table
 from ..workloads.spec2000 import profile
 
@@ -46,9 +49,20 @@ class Figure1Result:
         )
 
 
-def run_figure1(cycles: int = DEFAULT_CYCLES, seed: int = 0) -> Figure1Result:
+def run_figure1(
+    cycles: int = DEFAULT_CYCLES, seed: int = 0, jobs: Optional[int] = None
+) -> Figure1Result:
     """Regenerate Figure 1 (FR-FCFS scheduling throughout)."""
     vpr = profile("vpr")
+    warmup = default_warmup(cycles)
+    run_many(
+        [solo_spec("vpr", 1.0, cycles, warmup, seed)]
+        + [
+            group_spec(("vpr", partner), "FR-FCFS", cycles, warmup, seed)
+            for partner in ("crafty", "art")
+        ],
+        jobs=jobs,
+    )
     rows: List[Figure1Row] = []
 
     solo = run_solo(vpr, cycles=cycles, seed=seed)

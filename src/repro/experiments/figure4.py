@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from ..sim.runner import DEFAULT_CYCLES, run_solo
+from typing import Optional
+
+from ..sim.parallel import run_many, solo_spec
+from ..sim.runner import DEFAULT_CYCLES, default_warmup, run_solo
 from ..stats.report import render_table
 from ..workloads.spec2000 import BENCHMARKS
 
@@ -45,8 +48,15 @@ class Figure4Result:
         )
 
 
-def run_figure4(cycles: int = DEFAULT_CYCLES, seed: int = 0) -> Figure4Result:
+def run_figure4(
+    cycles: int = DEFAULT_CYCLES, seed: int = 0, jobs: Optional[int] = None
+) -> Figure4Result:
     """Regenerate Figure 4: solo runs of the twenty benchmarks."""
+    warmup = default_warmup(cycles)
+    run_many(
+        [solo_spec(b.name, 1.0, cycles, warmup, seed) for b in BENCHMARKS],
+        jobs=jobs,
+    )
     rows: List[Figure4Row] = []
     for benchmark in BENCHMARKS:
         result = run_solo(benchmark, cycles=cycles, seed=seed)

@@ -14,9 +14,10 @@ Headline statistic: the variance of normalized utilization drops from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..sim.runner import DEFAULT_CYCLES, run_solo
+from ..sim.parallel import run_many, solo_spec
+from ..sim.runner import DEFAULT_CYCLES, default_warmup, run_solo
 from ..stats.metrics import fair_share_targets, variance
 from ..stats.report import render_kv, render_table
 from ..workloads.spec2000 import profile
@@ -90,15 +91,28 @@ class Figure9Result:
 
 
 def run_figure9(
-    cycles: int = None, seed: int = 0, outcomes: List[QuadOutcome] = None
+    cycles: int = None,
+    seed: int = 0,
+    outcomes: List[QuadOutcome] = None,
+    jobs: Optional[int] = None,
 ) -> Figure9Result:
     """Regenerate Figure 9 from (possibly shared) quad runs."""
     if cycles is None:
         cycles = DEFAULT_CYCLES
     if outcomes is None:
-        outcomes = run_quads(cycles=cycles, seed=seed)
+        outcomes = run_quads(cycles=cycles, seed=seed, jobs=jobs)
     # Solo reference runs (unscaled, as for Figure 4) provide each
     # thread's solo latency and solo utilization.
+    warmup = default_warmup(cycles)
+    run_many(
+        [
+            solo_spec(name, 1.0, cycles, warmup, seed)
+            for name in dict.fromkeys(
+                n for o in outcomes for n in o.benchmarks
+            )
+        ],
+        jobs=jobs,
+    )
     solo_latency: Dict[str, float] = {}
     solo_util: Dict[str, float] = {}
     for outcome in outcomes:

@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from ..sim.runner import DEFAULT_CYCLES, run_group, run_solo
+from typing import Optional
+
+from ..sim.parallel import group_spec, run_many, solo_spec
+from ..sim.runner import DEFAULT_CYCLES, default_warmup, run_group, run_solo
 from ..sim.system import SimResult
 from ..workloads.spec2000 import BACKGROUND, two_proc_pairs
 
@@ -41,8 +44,26 @@ def run_pairs(
     policies: Sequence[str] = POLICIES,
     cycles: int = DEFAULT_CYCLES,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[PairOutcome]:
-    """All 19 subject workloads under each policy (memoized underneath)."""
+    """All 19 subject workloads under each policy (memoized underneath).
+
+    ``jobs`` > 1 fans independent runs out across processes first (see
+    :mod:`repro.sim.parallel`); the assembly loop below then reads pure
+    memo hits.  Results are identical for every ``jobs`` value.
+    """
+    warmup = default_warmup(cycles)
+    specs = [solo_spec(BACKGROUND.name, 2.0, cycles, warmup, seed)]
+    for subject, background in two_proc_pairs():
+        specs.append(solo_spec(subject.name, 2.0, cycles, warmup, seed))
+        for policy in policies:
+            specs.append(
+                group_spec(
+                    (subject.name, background.name), policy, cycles, warmup, seed
+                )
+            )
+    run_many(specs, jobs=jobs)
+
     outcomes: List[PairOutcome] = []
     background_base = run_solo(BACKGROUND, scale=2.0, cycles=cycles, seed=seed)
     for subject, background in two_proc_pairs():

@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from ..sim.runner import DEFAULT_CYCLES, run_group, run_solo
+from typing import Optional
+
+from ..sim.parallel import group_spec, run_many, solo_spec
+from ..sim.runner import DEFAULT_CYCLES, default_warmup, run_group, run_solo
 from ..sim.system import SimResult
 from ..workloads.spec2000 import four_proc_workloads
 
@@ -38,8 +41,26 @@ def run_quads(
     policies: Sequence[str] = QUAD_POLICIES,
     cycles: int = DEFAULT_CYCLES,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[QuadOutcome]:
-    """The paper's four 4-thread workloads under each policy."""
+    """The paper's four 4-thread workloads under each policy.
+
+    ``jobs`` > 1 runs the independent simulations across processes
+    first; results are identical for every ``jobs`` value.
+    """
+    warmup = default_warmup(cycles)
+    specs = []
+    for workload in four_proc_workloads():
+        for benchmark in workload:
+            specs.append(solo_spec(benchmark.name, 4.0, cycles, warmup, seed))
+        for policy in policies:
+            specs.append(
+                group_spec(
+                    tuple(b.name for b in workload), policy, cycles, warmup, seed
+                )
+            )
+    run_many(specs, jobs=jobs)
+
     outcomes: List[QuadOutcome] = []
     for index, workload in enumerate(four_proc_workloads()):
         baselines = [

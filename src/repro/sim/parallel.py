@@ -1,0 +1,189 @@
+"""Parallel fan-out of independent simulation runs.
+
+The evaluation sweeps are embarrassingly parallel: every (workload,
+policy, window, seed) run is independent and deterministic, so the
+only engineering is deduplicating identical run specs, skipping the
+ones a cache already holds, and farming the misses out across cores.
+
+:class:`RunSpec` is the declarative unit of work — it names *what* to
+run (solo baseline or co-scheduled group) without holding any live
+simulator state, so it is hashable (dedup), picklable (process pools)
+and fingerprintable (the disk cache).  :func:`run_many` executes a
+batch of specs with a ``ProcessPoolExecutor`` and feeds every result
+back into both cache layers, so subsequent :func:`~repro.sim.runner.
+run_solo` / :func:`~repro.sim.runner.run_group` calls are pure memo
+hits.
+
+Determinism: workload RNGs are seeded from (name, seed, base address)
+only, so a child process simulates the exact same machine as the
+parent would; ``run_many(jobs=4)`` returns bit-identical results to
+``jobs=1``.  With ``jobs=1`` (the default) no pool is created and
+everything runs in-process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..workloads.spec2000 import profile as lookup_profile
+from ..workloads.synthetic import BenchmarkProfile
+from . import cache as result_cache
+from .config import SystemConfig
+from .system import CmpSystem, SimResult
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run, by value.
+
+    ``kind`` is ``"solo"`` (one benchmark on a private, possibly
+    time-scaled memory system under FR-FCFS — the paper's baseline) or
+    ``"group"`` (the named benchmarks co-scheduled under ``policy``).
+    Profiles are referenced by registered name so specs stay tiny and
+    picklable; content enters through the fingerprint.
+    """
+
+    kind: str
+    names: Tuple[str, ...]
+    policy: str
+    scale: float
+    cycles: int
+    warmup: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("solo", "group"):
+            raise ValueError(f"kind must be 'solo' or 'group', got {self.kind!r}")
+        if self.kind == "solo" and len(self.names) != 1:
+            raise ValueError("solo specs take exactly one benchmark name")
+
+    def build(self) -> Tuple[SystemConfig, List[BenchmarkProfile]]:
+        """Materialize the (config, profiles) pair this spec describes."""
+        profiles = [lookup_profile(name) for name in self.names]
+        if self.kind == "solo":
+            config = SystemConfig(num_cores=1, policy="FR-FCFS", seed=self.seed)
+            if self.scale != 1.0:
+                config = config.scaled_baseline(self.scale)
+        else:
+            config = SystemConfig(
+                num_cores=len(profiles), policy=self.policy, seed=self.seed
+            )
+        return config, profiles
+
+    def fingerprint(self) -> str:
+        """Disk-cache key (config + profile content + window + seed + salt)."""
+        config, profiles = self.build()
+        return result_cache.fingerprint(
+            config, profiles, self.cycles, self.warmup, self.seed
+        )
+
+
+def solo_spec(
+    name: str, scale: float, cycles: int, warmup: int, seed: int
+) -> RunSpec:
+    return RunSpec("solo", (name,), "FR-FCFS", scale, cycles, warmup, seed)
+
+
+def group_spec(
+    names: Sequence[str], policy: str, cycles: int, warmup: int, seed: int
+) -> RunSpec:
+    return RunSpec("group", tuple(names), policy, 1.0, cycles, warmup, seed)
+
+
+def execute_spec(spec: RunSpec) -> SimResult:
+    """Simulate ``spec`` from scratch (no cache layers consulted)."""
+    config, profiles = spec.build()
+    system = CmpSystem(config, profiles)
+    return system.run(spec.cycles, warmup=spec.warmup)
+
+
+def default_jobs() -> int:
+    """Worker count when ``jobs`` is unspecified (``REPRO_JOBS``, else 1)."""
+    try:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return default_jobs()
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def run_many(
+    specs: Iterable[RunSpec], jobs: Optional[int] = None
+) -> Dict[RunSpec, SimResult]:
+    """Execute ``specs`` (deduplicated), returning spec → result.
+
+    Cache discipline: the in-process memo is consulted first, then the
+    disk cache; only genuine misses are simulated — in this process
+    when ``jobs`` resolves to 1, otherwise fanned out across a process
+    pool.  Every result (loaded or fresh) is written back to the memo,
+    and fresh results to the disk cache, by the parent process.
+    """
+    from . import runner  # runner imports this module; bind lazily
+
+    jobs = resolve_jobs(jobs)
+    ordered = list(dict.fromkeys(specs))
+    disk = result_cache.active_cache()
+    results: Dict[RunSpec, SimResult] = {}
+    misses: List[RunSpec] = []
+    for spec in ordered:
+        hit = runner.memo_get(spec)
+        if hit is None and disk is not None:
+            hit = disk.get(spec.fingerprint())
+            if hit is not None:
+                runner.memo_put(spec, hit)
+        if hit is not None:
+            results[spec] = hit
+        else:
+            misses.append(spec)
+
+    if not misses:
+        return results
+
+    if jobs == 1 or len(misses) == 1:
+        fresh = [(spec, execute_spec(spec)) for spec in misses]
+    else:
+        fresh = _pool_execute(misses, jobs)
+
+    for spec, result in fresh:
+        runner.memo_put(spec, result)
+        if disk is not None:
+            disk.put(spec.fingerprint(), result)
+        results[spec] = result
+    return results
+
+
+def _pool_execute(
+    specs: Sequence[RunSpec], jobs: int
+) -> List[Tuple[RunSpec, SimResult]]:
+    """Fan ``specs`` out over a process pool; fall back in-process on failure.
+
+    The fallback keeps restricted environments (no ``fork``, no
+    semaphores — some CI sandboxes) working at ``jobs=1`` speed rather
+    than crashing the sweep.
+    """
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            futures = {pool.submit(execute_spec, spec): spec for spec in specs}
+            done: List[Tuple[RunSpec, SimResult]] = []
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    done.append((futures[future], future.result()))
+            # Report in submission order so downstream writes are
+            # deterministic regardless of completion order.
+            order = {spec: i for i, spec in enumerate(specs)}
+            done.sort(key=lambda pair: order[pair[0]])
+            return done
+    except (OSError, PermissionError, NotImplementedError):
+        return [(spec, execute_spec(spec)) for spec in specs]

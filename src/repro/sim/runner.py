@@ -2,8 +2,13 @@
 
 The paper's experiments repeatedly need (a) each benchmark run alone
 on a private memory system — possibly time-scaled — and (b) the same
-benchmark co-scheduled under each scheduling policy.  Solo runs are
-memoized per process since every figure reuses them.
+benchmark co-scheduled under each scheduling policy.  Both are
+memoized through two transparent layers: a per-process memo (same
+object back, as the figure drivers expect) and the persistent disk
+cache of :mod:`repro.sim.cache`, so repeated figure regenerations and
+``pytest benchmarks/`` invocations stop re-simulating the world.
+Batch sweeps go through :func:`repro.sim.parallel.run_many`, which
+fans cache misses out across cores and seeds the same memo.
 
 Run lengths default to a statistically stable but laptop-friendly
 window; set ``REPRO_SIM_CYCLES`` to lengthen every run proportionally
@@ -13,13 +18,14 @@ for a higher-fidelity regeneration.
 from __future__ import annotations
 
 import os
-from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.shares import equal_shares
 from ..workloads.spec2000 import profile as lookup_profile
 from ..workloads.synthetic import BenchmarkProfile
+from . import cache as result_cache
 from .config import SystemConfig
+from .parallel import RunSpec, execute_spec, group_spec, solo_spec
 from .system import CmpSystem, SimResult
 
 #: Default measurement window in cycles (override via REPRO_SIM_CYCLES).
@@ -33,6 +39,47 @@ def default_warmup(cycles: int) -> int:
     return int(cycles * WARMUP_FRACTION)
 
 
+#: In-process memo: spec → result object (identity-stable per process).
+_memo: Dict[RunSpec, SimResult] = {}
+
+
+def memo_get(spec: RunSpec) -> Optional[SimResult]:
+    """The memoized result for ``spec``, if this process has one."""
+    return _memo.get(spec)
+
+
+def memo_put(spec: RunSpec, result: SimResult) -> None:
+    """Install ``result`` as the canonical in-process result for ``spec``."""
+    _memo[spec] = result
+
+
+def clear_solo_cache() -> None:
+    """Drop memoized runs (tests that vary global state use this).
+
+    Clears the in-process layer only; the disk cache is content-keyed
+    (config + profile content + code salt) so it never needs flushing
+    for correctness.
+    """
+    _memo.clear()
+
+
+def _fetch(spec: RunSpec) -> SimResult:
+    """Resolve ``spec`` through memo → disk cache → fresh simulation."""
+    result = _memo.get(spec)
+    if result is not None:
+        return result
+    disk = result_cache.active_cache()
+    key = spec.fingerprint() if disk is not None else None
+    if disk is not None:
+        result = disk.get(key)
+    if result is None:
+        result = execute_spec(spec)
+        if disk is not None:
+            disk.put(key, result)
+    _memo[spec] = result
+    return result
+
+
 def run_workload(
     profiles: Sequence[BenchmarkProfile],
     policy: str,
@@ -42,7 +89,7 @@ def run_workload(
     seed: int = 0,
     inversion_bound: Optional[int] = None,
 ) -> SimResult:
-    """Co-schedule ``profiles`` (one per core) under ``policy``."""
+    """Co-schedule ``profiles`` (one per core) under ``policy`` (uncached)."""
     config = SystemConfig(
         num_cores=len(profiles),
         policy=policy,
@@ -56,16 +103,12 @@ def run_workload(
     return system.run(cycles, warmup=warmup)
 
 
-@lru_cache(maxsize=None)
-def _run_solo_cached(
-    name: str, scale: float, cycles: int, warmup: int, seed: int
-) -> SimResult:
-    profile = lookup_profile(name)
-    config = SystemConfig(num_cores=1, policy="FR-FCFS", seed=seed)
-    if scale != 1.0:
-        config = config.scaled_baseline(scale)
-    system = CmpSystem(config, [profile])
-    return system.run(cycles, warmup=warmup)
+def _registered(profile: BenchmarkProfile) -> bool:
+    """True when ``profile`` is exactly the registered profile of its name."""
+    try:
+        return lookup_profile(profile.name) == profile
+    except KeyError:
+        return False
 
 
 def run_solo(
@@ -79,25 +122,17 @@ def run_solo(
 
     ``scale`` > 1 slows the memory system down, e.g. ``scale=2`` is the
     paper's two-processor QoS baseline (a private memory system at half
-    frequency, i.e. 1/φ with φ = ½).
+    frequency, i.e. 1/φ with φ = ½).  Cached through both layers for
+    registered profiles.
     """
     if warmup is None:
         warmup = default_warmup(cycles)
-    return _run_solo_cached(profile.name, scale, cycles, warmup, seed)
-
-
-def clear_solo_cache() -> None:
-    """Drop memoized runs (tests that vary global state use this)."""
-    _run_solo_cached.cache_clear()
-    _run_group_cached.cache_clear()
-
-
-@lru_cache(maxsize=None)
-def _run_group_cached(
-    names: Tuple[str, ...], policy: str, cycles: int, warmup: int, seed: int
-) -> SimResult:
-    profiles = [lookup_profile(name) for name in names]
-    return run_workload(profiles, policy, cycles=cycles, warmup=warmup, seed=seed)
+    if not _registered(profile):
+        config = SystemConfig(num_cores=1, policy="FR-FCFS", seed=seed)
+        if scale != 1.0:
+            config = config.scaled_baseline(scale)
+        return CmpSystem(config, [profile]).run(cycles, warmup=warmup)
+    return _fetch(solo_spec(profile.name, scale, cycles, warmup, seed))
 
 
 def run_group(
@@ -111,13 +146,15 @@ def run_group(
 
     Figures 5, 6, and 7 share the same two-processor runs and Figures 8
     and 9 share the four-processor runs; the memo avoids re-simulating.
-    Only profiles registered in :mod:`repro.workloads.spec2000` are
-    cacheable by name.
+    Profiles not registered in :mod:`repro.workloads.spec2000` fall
+    back to a direct (uncached) simulation.
     """
     if warmup is None:
         warmup = default_warmup(cycles)
+    if not all(_registered(p) for p in profiles):
+        return run_workload(profiles, policy, cycles=cycles, warmup=warmup, seed=seed)
     names = tuple(p.name for p in profiles)
-    return _run_group_cached(names, policy, cycles, warmup, seed)
+    return _fetch(group_spec(names, policy, cycles, warmup, seed))
 
 
 def coscheduled_pair(
@@ -132,8 +169,10 @@ def coscheduled_pair(
 
     Normalized IPC is measured against each benchmark running alone on
     the paper's baseline: a private memory system time-scaled by 1/φ = 2.
+    The co-run goes through the memoized :func:`run_group`, so pair
+    figures reuse runs the group cache already holds.
     """
-    result = run_workload(
+    result = run_group(
         [subject, background], policy, cycles=cycles, warmup=warmup, seed=seed
     )
     base_s = run_solo(subject, scale=2.0, cycles=cycles, warmup=warmup, seed=seed)

@@ -13,8 +13,9 @@ banks, rows, and buses through the shared address map).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Sequence, Set, Tuple
 
 from ..controller.address_map import AddressMap
 from ..controller.controller import MemoryController
@@ -139,9 +140,19 @@ class CmpSystem:
         #: Interface queues: requests that arrived at their channel's
         #: controller but were NACKed (buffer partition full), indexed
         #: [channel][thread].
-        self._awaiting_mc: List[List[List[MemoryRequest]]] = [
-            [[] for _ in range(config.num_cores)]
+        self._awaiting_mc: List[List[Deque[MemoryRequest]]] = [
+            [deque() for _ in range(config.num_cores)]
             for _ in range(config.num_channels)
+        ]
+        #: Dirty set of non-empty interface queues, so the per-cycle
+        #: retry scan touches only (channel, thread) pairs with queued
+        #: requests instead of all channels × all threads.
+        self._awaiting_nonempty: Set[Tuple[int, int]] = set()
+        #: Writes sitting in each interface queue, indexed
+        #: [channel][thread] — consulted on every writeback submit for
+        #: credit flow control, so counted incrementally.
+        self._awaiting_writes: List[List[int]] = [
+            [0] * config.num_cores for _ in range(config.num_channels)
         ]
         self._fill_seq = 0
         self.now = 0
@@ -199,11 +210,7 @@ class CmpSystem:
                 in_transit = self._in_transit[core_id][request.channel][
                     RequestKind.WRITE
                 ]
-                waiting_writes = sum(
-                    1
-                    for r in self._awaiting_mc[request.channel][core_id]
-                    if r.is_write
-                )
+                waiting_writes = self._awaiting_writes[request.channel][core_id]
                 occupied = (
                     controller.buffers.occupancy(core_id, RequestKind.WRITE)
                     + in_transit
@@ -234,13 +241,24 @@ class CmpSystem:
                 self._in_transit[request.thread_id][request.channel][
                     request.kind
                 ] -= 1
+                self._awaiting_writes[request.channel][request.thread_id] += 1
             self._awaiting_mc[request.channel][request.thread_id].append(request)
-        for channel, controller in enumerate(self.controllers):
-            for thread_queue in self._awaiting_mc[channel]:
-                while thread_queue:
-                    if not controller.try_enqueue(thread_queue[0]):
-                        break
-                    thread_queue.pop(0)
+            self._awaiting_nonempty.add((request.channel, request.thread_id))
+        if not self._awaiting_nonempty:
+            return
+        drained = []
+        for channel, thread_id in sorted(self._awaiting_nonempty):
+            controller = self.controllers[channel]
+            thread_queue = self._awaiting_mc[channel][thread_id]
+            while thread_queue:
+                if not controller.try_enqueue(thread_queue[0]):
+                    break
+                request = thread_queue.popleft()
+                if request.kind is RequestKind.WRITE:
+                    self._awaiting_writes[channel][thread_id] -= 1
+            if not thread_queue:
+                drained.append((channel, thread_id))
+        self._awaiting_nonempty.difference_update(drained)
 
     # -- main loop --------------------------------------------------------------
 

@@ -83,7 +83,7 @@ class TestWritebacks:
         hierarchy.fill_from_memory(lines[0], dirty=True)
         hierarchy.fill_from_memory(lines[1], dirty=False)
         hierarchy.fill_from_memory(lines[2], dirty=False)  # evicts lines[0]
-        assert hierarchy.pending_writebacks == [lines[0]]
+        assert list(hierarchy.pending_writebacks) == [lines[0]]
         assert hierarchy.pop_writeback() == lines[0]
         assert hierarchy.pop_writeback() is None
 

@@ -1,0 +1,126 @@
+"""Persistent result cache: fingerprints, round-trips, transparency."""
+
+import json
+
+import pytest
+
+from repro.sim.cache import (
+    ResultCache,
+    configure_cache,
+    fingerprint,
+    result_from_json,
+    result_to_json,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import execute_spec, group_spec
+from repro.sim.runner import clear_solo_cache, run_group
+from repro.workloads.spec2000 import profile
+
+CYCLES = 4_000
+WARMUP = 1_000
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    """Route the process-wide cache at a private directory for one test."""
+    cache = configure_cache(cache_dir=tmp_path / "cache")
+    clear_solo_cache()
+    yield cache
+    clear_solo_cache()
+    configure_cache()  # back to environment-driven resolution
+
+
+def _config(**overrides):
+    defaults = dict(num_cores=2, policy="FQ-VFTF", seed=0)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        profiles = [profile("vpr"), profile("art")]
+        a = fingerprint(_config(), profiles, CYCLES, WARMUP, 0)
+        b = fingerprint(_config(), profiles, CYCLES, WARMUP, 0)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cycles=CYCLES + 1),
+            dict(warmup=WARMUP + 1),
+            dict(seed=7),
+        ],
+    )
+    def test_window_and_seed_are_significant(self, kwargs):
+        profiles = [profile("vpr")]
+        base = dict(cycles=CYCLES, warmup=WARMUP, seed=0)
+        a = fingerprint(_config(), profiles, **base)
+        b = fingerprint(_config(), profiles, **{**base, **kwargs})
+        assert a != b
+
+    def test_config_is_significant(self):
+        profiles = [profile("vpr"), profile("art")]
+        a = fingerprint(_config(), profiles, CYCLES, WARMUP, 0)
+        b = fingerprint(_config(policy="FR-FCFS"), profiles, CYCLES, WARMUP, 0)
+        assert a != b
+
+    def test_profile_content_is_significant(self):
+        a = fingerprint(_config(), [profile("vpr")], CYCLES, WARMUP, 0)
+        b = fingerprint(_config(), [profile("gzip")], CYCLES, WARMUP, 0)
+        assert a != b
+
+    def test_code_salt_is_significant(self, monkeypatch):
+        profiles = [profile("vpr")]
+        monkeypatch.setenv("REPRO_CACHE_SALT", "one")
+        a = fingerprint(_config(), profiles, CYCLES, WARMUP, 0)
+        monkeypatch.setenv("REPRO_CACHE_SALT", "two")
+        b = fingerprint(_config(), profiles, CYCLES, WARMUP, 0)
+        assert a != b
+
+
+class TestJsonRoundTrip:
+    def test_exact(self):
+        spec = group_spec(("gzip", "gap"), "FQ-VFTF", CYCLES, WARMUP, 0)
+        result = execute_spec(spec)
+        # Through real serialized text, not just the dict form.
+        payload = json.loads(json.dumps(result_to_json(result)))
+        restored = result_from_json(payload)
+        assert restored == result
+        assert restored is not result
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+
+    def test_put_then_get(self, tmp_path):
+        spec = group_spec(("gzip",), "FR-FCFS", CYCLES, WARMUP, 0)
+        result = execute_spec(spec)
+        cache = ResultCache(tmp_path)
+        cache.put(spec.fingerprint(), result)
+        assert len(cache) == 1
+        loaded = cache.get(spec.fingerprint())
+        assert loaded == result
+        assert loaded is not result
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = group_spec(("gzip",), "FR-FCFS", CYCLES, WARMUP, 0)
+        cache = ResultCache(tmp_path)
+        key = spec.fingerprint()
+        cache.put(key, execute_spec(spec))
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+
+class TestTransparency:
+    def test_disk_hit_is_bit_identical_to_fresh_run(self, disk_cache):
+        profiles = [profile("vpr"), profile("art")]
+        fresh = run_group(profiles, "FQ-VFTF", cycles=CYCLES, warmup=WARMUP)
+        assert len(disk_cache) == 1
+        # Drop the in-process memo so the next call must load from disk.
+        clear_solo_cache()
+        cached = run_group(profiles, "FQ-VFTF", cycles=CYCLES, warmup=WARMUP)
+        assert cached is not fresh
+        assert cached == fresh
+        assert disk_cache.hits >= 1

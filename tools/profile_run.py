@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Profile one co-scheduled run and print the hottest code paths.
+
+The companion to the performance notes in docs/INTERNALS.md §6: run
+this before and after touching the cycle loop to see where the time
+actually goes.  Simulates a co-scheduled workload pair from scratch
+(no cache layers) under cProfile and prints the top functions by
+cumulative time.
+
+    PYTHONPATH=src python tools/profile_run.py
+    PYTHONPATH=src python tools/profile_run.py --policy FR-FCFS \
+        --benchmarks vpr art --cycles 40000 --top 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.sim.runner import default_warmup, run_workload  # noqa: E402
+from repro.workloads.spec2000 import profile as lookup_profile  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=["vpr", "art"],
+        help="benchmarks to co-schedule, one per core (default: vpr art)",
+    )
+    parser.add_argument("--policy", default="FQ-VFTF")
+    parser.add_argument("--cycles", type=int, default=40_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--top", type=int, default=20, help="rows of profile output"
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key",
+    )
+    args = parser.parse_args(argv)
+
+    profiles = [lookup_profile(name) for name in args.benchmarks]
+    warmup = default_warmup(args.cycles)
+    simulated = args.cycles + warmup
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    run_workload(
+        profiles, args.policy, cycles=args.cycles, warmup=warmup, seed=args.seed
+    )
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    names = "+".join(args.benchmarks)
+    print(
+        f"{names} under {args.policy}: {simulated:,} cycles in "
+        f"{elapsed:.2f}s = {simulated / elapsed:,.0f} simulated cycles/sec\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
