@@ -6,6 +6,8 @@ Examples::
     repro-fqms figure5 --cycles 120000
     repro-fqms ablations
     repro-fqms all
+    repro-fqms check --cycles 40000   # protocol/invariant sanitizers
+    repro-fqms figure1 --check        # any run, with checkers attached
 """
 
 from __future__ import annotations
@@ -13,9 +15,10 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .experiments import (
     run_figure1,
@@ -65,9 +68,9 @@ def _run_figure(name: str, cycles: int, seed: int, jobs: Optional[int] = None):
     raise ValueError(f"unknown figure {name!r}")
 
 
-def _figure_json(name: str, result) -> dict:
+def _figure_json(name: str, result) -> Dict[str, Any]:
     """Machine-readable dump of a figure result (dataclass rows only)."""
-    payload = {"figure": name}
+    payload: Dict[str, Any] = {"figure": name}
     for field in dataclasses.fields(result):
         value = getattr(result, field.name)
         if isinstance(value, list) and value and dataclasses.is_dataclass(value[0]):
@@ -105,8 +108,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=FIGURES + ("ablations", "all"),
-        help="which evaluation artifact to regenerate",
+        choices=FIGURES + ("ablations", "all", "check"),
+        help="which evaluation artifact to regenerate ('check' runs the "
+        "protocol/invariant sanitizers differentially)",
     )
     parser.add_argument(
         "--cycles",
@@ -139,22 +143,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="disable the persistent result cache for this invocation",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="attach the repro.check runtime validators (DRAM protocol "
+        "sanitizer + scheduler invariant checker) to every freshly "
+        "simulated run; equivalent to REPRO_CHECK=1",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs <= 0:
         parser.error("--jobs must be positive")
+    if args.check:
+        # Via the environment so the parallel engine's worker processes
+        # inherit it.  Note cached results are served without
+        # re-simulating; use --no-cache to force every run through the
+        # checkers.
+        os.environ["REPRO_CHECK"] = "1"
     configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
 
     targets = FIGURES + ("ablations",) if args.experiment == "all" else (args.experiment,)
     json_payloads = []
     for target in targets:
-        started = time.time()
+        started = time.time()  # det: allow(wall-clock) user-facing timing
         if target == "ablations":
             body = _run_ablations(args.cycles, args.seed)
+        elif target == "check":
+            from .check.harness import differential_report
+
+            body = differential_report(args.cycles, args.seed)
         else:
             result = _run_figure(target, args.cycles, args.seed, jobs=args.jobs)
             body = result.render()
             json_payloads.append(_figure_json(target, result))
-        elapsed = time.time() - started
+        elapsed = time.time() - started  # det: allow(wall-clock)
         print(f"=== {target} ({elapsed:.0f}s) ===")
         print(body)
         print()

@@ -156,8 +156,10 @@ class BankScheduler:
         and the thread's current registers, so it tracks the service
         the thread has actually consumed.
         """
+        vtms = self.vtms
+        assert vtms is not None  # callers gate on policy.uses_vtms
         scan_stamp = (
-            self.vtms.global_epoch,
+            vtms.global_epoch,
             self._row_epoch,
             self._queue_version,
         )
@@ -171,7 +173,7 @@ class BankScheduler:
         bank = self._bank_state()
         row_epoch = self._row_epoch
         for request in self.queue:
-            thread = self.vtms[request.thread_id]
+            thread = vtms[request.thread_id]
             stamp = (thread.epoch, row_epoch)
             if request.vft_stamp == stamp:
                 continue
@@ -324,6 +326,7 @@ class BankScheduler:
             sort = (not ready, not kind.is_cas, key)
             if best_sort is None or sort < best_sort:
                 best_request, best_sort, best_kind = request, sort, kind
+        assert best_request is not None and best_sort is not None
         return self._candidate_for(
             best_request, now, kind=best_kind, ready=not best_sort[0]
         )
@@ -390,7 +393,7 @@ class BankScheduler:
         if open_row is not None and not row_work:
             kinds.add(CommandType.PRECHARGE)
         earliest: Optional[int] = None
-        for kind in kinds:
+        for kind in kinds:  # det: allow(pure min reduction, order-free)
             t = self.dram.earliest_issue(kind, self.rank, self.bank)
             if t is not None and (earliest is None or t < earliest):
                 earliest = t

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import heapq
 from collections import deque, namedtuple
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only (avoids import cycle)
+    from ..check import RunChecker
 
 from ..core.policies import FR_FCFS, Policy
 from ..core.shares import equal_shares, validate_shares
@@ -160,6 +163,9 @@ class MemoryController:
         #: Pending (queued but not CAS-issued) requests per thread, for
         #: Ra_i maintenance and occupancy queries.
         self._pending: List[Set[MemoryRequest]] = [set() for _ in range(num_threads)]
+        #: Optional runtime checker (repro.check); None in normal runs,
+        #: so the per-event hooks below cost one attribute test each.
+        self.checker: Optional["RunChecker"] = None
         self.now = 0
 
     # -- request entry ---------------------------------------------------
@@ -197,6 +203,8 @@ class MemoryController:
         self._refresh_oldest_arrival(request.thread_id)
         self.stats.requests_accepted[request.thread_id] += 1
         self._sleep_until = 0
+        if self.checker is not None:
+            self.checker.on_accept(request, self.now)
         return True
 
     def _refresh_oldest_arrival(self, thread_id: int) -> None:
@@ -230,6 +238,8 @@ class MemoryController:
                 # start cycle itself counts as a refresh cycle.
                 self._sleep_until = self.dram.refresh_end or now
                 in_refresh = True
+                if self.checker is not None:
+                    self.checker.on_refresh(now)
             else:
                 if self._update_write_drain():
                     # Eligibility flipped: previously computed sleep no
@@ -290,6 +300,8 @@ class MemoryController:
 
     def _issue(self, cand: CandidateCommand, now: int) -> None:
         self.dram.issue(cand.kind, cand.rank, cand.bank, cand.row, now)
+        if self.checker is not None:
+            self.checker.on_command(cand, now)
         self.stats.commands_issued[cand.kind] += 1
         if self.command_log is not None:
             self.command_log.append(
@@ -338,6 +350,8 @@ class MemoryController:
         while self._in_flight and self._in_flight[0][0] <= now:
             _, _, request = heapq.heappop(self._in_flight)
             self.buffers.release(request)
+            if self.checker is not None:
+                self.checker.on_complete(request, now)
             if request.is_read:
                 if not request.prefetch:
                     latency = request.latency()

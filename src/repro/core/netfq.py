@@ -184,7 +184,6 @@ class PacketFairQueue:
         # *eligible* packets (virtual start <= system virtual time) may
         # be chosen; the virtual time advances with delivered work and
         # jumps to the earliest start tag when nothing is eligible.
-        result: List[Tuple[Packet, float, float]] = []
         now = 0.0
         virtual_time = 0.0
         waiting = list(tagged)
@@ -206,10 +205,7 @@ class PacketFairQueue:
             served.append((chosen[3], start_service, end_service))
             now = end_service
             virtual_time += chosen[3].length
-        # Return in original packet order for easy comparison.
-        index = {id(p): i for i, (p, _, _) in enumerate(served)}
-        result = served
-        return result
+        return served
 
     def reset(self) -> None:
         """Forget all per-flow history."""

@@ -190,6 +190,9 @@ class VtmsState:
         """
         thread = self.threads[thread_id]
         value = self.clock if arrival is None else arrival
-        if value != thread.oldest_arrival:
+        # Exact change-detection guard, not a priority comparison: both
+        # sides are the same register's old/new value, and skipping the
+        # epoch bump on a bitwise-equal write is always safe.
+        if value != thread.oldest_arrival:  # det: allow(register change guard)
             thread.oldest_arrival = value
             thread.bump_epoch()

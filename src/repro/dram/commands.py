@@ -21,6 +21,11 @@ class CommandType(enum.Enum):
     one of the hottest reads in the simulator.
     """
 
+    # Bare annotations declare non-member instance attributes (filled
+    # in below), so type checkers know every member carries them.
+    is_cas: bool
+    is_ras: bool
+
     ACTIVATE = "activate"
     PRECHARGE = "precharge"
     READ = "read"

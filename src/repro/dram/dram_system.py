@@ -78,6 +78,11 @@ class DramSystem:
     def try_start_refresh(self, now: int) -> bool:
         """Start a refresh at ``now`` if one is due and all banks are closed.
 
+        "Closed" means fully precharged: a bank whose closing precharge
+        issued less than ``t_rp`` ago is still mid-precharge, and a
+        refresh command before the precharge completes violates the
+        DDR2 protocol (all banks must be idle when REF issues).
+
         Returns True if a refresh started.  The controller is expected
         to stop opening rows while :meth:`refresh_due` holds so this
         eventually succeeds.
@@ -85,6 +90,10 @@ class DramSystem:
         if not self.refresh_due(now):
             return False
         if not all(rank.all_closed() for rank in self.ranks):
+            return False
+        if any(
+            now < bank.precharge_done for _, bank in self.iter_banks()
+        ):
             return False
         for rank in self.ranks:
             rank.refresh(now)

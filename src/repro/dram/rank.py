@@ -2,13 +2,16 @@
 
 A rank is a set of banks that share internal power-delivery and I/O
 circuitry, which imposes cross-bank constraints: ``t_rrd`` between
-activates to *different* banks and ``t_wtr`` between the end of write
-data and the next read command anywhere in the rank.
+activates to *different* banks, ``t_faw`` over any four consecutive
+activates (the rolling four-activate window a real device's charge
+pumps impose), and ``t_wtr`` between the end of write data and the
+next read command anywhere in the rank.
 """
 
 from __future__ import annotations
 
-from typing import List
+from collections import deque
+from typing import Deque, List
 
 from .bank import Bank, _LONG_AGO
 from .commands import CommandType
@@ -25,6 +28,10 @@ class Rank:
         self.timing = timing
         self.banks: List[Bank] = [Bank(b, timing) for b in range(num_banks)]
         self.last_activate = _LONG_AGO
+        #: Issue cycles of the last four activates anywhere in the rank,
+        #: oldest first — a fifth activate must land at least ``t_faw``
+        #: after the oldest recorded one.
+        self.activate_times: Deque[int] = deque(maxlen=4)
         #: End of the most recent write burst anywhere in the rank.
         self.write_data_end = _LONG_AGO
 
@@ -38,7 +45,12 @@ class Rank:
         bank-level and channel-level components.
         """
         if kind is CommandType.ACTIVATE:
-            return self.last_activate + self.timing.t_rrd
+            earliest = self.last_activate + self.timing.t_rrd
+            if len(self.activate_times) == 4:
+                earliest = max(
+                    earliest, self.activate_times[0] + self.timing.t_faw
+                )
+            return earliest
         if kind is CommandType.READ:
             return self.write_data_end + self.timing.t_wtr
         return 0
@@ -48,6 +60,7 @@ class Rank:
         self.banks[bank].issue(kind, row, now)
         if kind is CommandType.ACTIVATE:
             self.last_activate = now
+            self.activate_times.append(now)
         elif kind is CommandType.WRITE:
             self.write_data_end = now + self.timing.t_wl + self.timing.burst
 

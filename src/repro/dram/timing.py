@@ -43,6 +43,11 @@ class DDR2Timing:
         t_rrd: Activate to activate, different banks.
         t_ras: Activate to precharge, same bank.
         t_rc: Activate to activate, same bank.
+        t_faw: Four-activate window — any five activates within one
+            rank must span at least this many cycles (Micron DDR2-800
+            x8 datasheet: 45 ns = 18 command clocks).  Not in the
+            paper's Table 6; added so the rank model polices activate
+            bursts across banks like a real device.
         burst: Data-bus cycles per cache-line transfer (BL/2).
         t_rfc: Refresh to activate (refresh cycle time).
         t_refi: Maximum refresh-to-refresh interval.
@@ -59,6 +64,7 @@ class DDR2Timing:
     t_rrd: int = 3 * DRAM_CLOCK_RATIO
     t_ras: int = 18 * DRAM_CLOCK_RATIO
     t_rc: int = 22 * DRAM_CLOCK_RATIO
+    t_faw: int = 18 * DRAM_CLOCK_RATIO
     burst: int = 4 * DRAM_CLOCK_RATIO
     t_rfc: int = 510
     t_refi: int = 280_000
@@ -74,6 +80,21 @@ class DDR2Timing:
             raise ValueError("t_ras must cover at least t_rcd")
         if self.t_rc < self.t_ras:
             raise ValueError("t_rc must be at least t_ras")
+        if self.t_rrd > self.t_ras:
+            raise ValueError(
+                "t_rrd must not exceed t_ras (activates to other banks "
+                "cannot be rarer than a full bank cycle)"
+            )
+        if self.t_faw < self.t_rrd:
+            raise ValueError(
+                "t_faw must be at least t_rrd (a four-activate window "
+                "cannot bind tighter than a single activate gap)"
+            )
+        if self.t_refi <= self.t_rfc:
+            raise ValueError(
+                "t_refi must exceed t_rfc (the refresh interval must "
+                "leave time outside the refresh blackout)"
+            )
 
     def scaled(self, factor: float) -> "DDR2Timing":
         """Return a copy with every constraint time-scaled by ``factor``.
@@ -82,6 +103,17 @@ class DDR2Timing:
         system running at ``1 / factor`` of the shared system's
         frequency.  Constraints are rounded to the nearest cycle but
         never below one cycle.
+
+        ``t_refi`` deliberately does **not** scale.  Scaling models a
+        device whose internal operations are uniformly stretched in
+        time, but cell charge leaks at the same physical rate no matter
+        how slowly the interface is clocked, so the retention deadline
+        — the maximum wall-clock gap between refreshes, which processor
+        cycles measure directly since the core clock is fixed — is
+        invariant.  Each refresh *operation* still takes ``factor``
+        times longer (``t_rfc`` scales), so a time-scaled baseline
+        spends proportionally more of each retention interval
+        refreshing, exactly as a uniformly slowed device would.
         """
         if factor <= 0:
             raise ValueError(f"scale factor must be positive, got {factor}")
@@ -101,6 +133,7 @@ class DDR2Timing:
             t_rrd=scale(self.t_rrd),
             t_ras=scale(self.t_ras),
             t_rc=scale(self.t_rc),
+            t_faw=scale(self.t_faw),
             burst=scale(self.burst),
             t_rfc=scale(self.t_rfc),
             t_refi=self.t_refi,

@@ -15,7 +15,7 @@ the near miss at .94).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..stats.metrics import harmonic_mean
 from ..stats.report import render_kv, render_table
@@ -84,7 +84,9 @@ class Figure5Result:
 
 
 def run_figure5(
-    cycles: int = None, seed: int = 0, outcomes: List[PairOutcome] = None
+    cycles: Optional[int] = None,
+    seed: int = 0,
+    outcomes: Optional[List[PairOutcome]] = None,
 ) -> Figure5Result:
     """Regenerate Figure 5 from (possibly shared) pair runs."""
     if outcomes is None:

@@ -9,7 +9,7 @@ demanding subjects it rises as art receives the excess service.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..stats.report import render_table
 from ..workloads.spec2000 import BENCHMARKS
@@ -55,7 +55,9 @@ class Figure6Result:
 
 
 def run_figure6(
-    cycles: int = None, seed: int = 0, outcomes: List[PairOutcome] = None
+    cycles: Optional[int] = None,
+    seed: int = 0,
+    outcomes: Optional[List[PairOutcome]] = None,
 ) -> Figure6Result:
     """Regenerate Figure 6 from (possibly shared) pair runs."""
     if outcomes is None:

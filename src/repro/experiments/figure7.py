@@ -12,7 +12,7 @@ cost of preventing row-hit capture.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..stats.metrics import improvement
 from ..stats.report import render_kv, render_table
@@ -99,7 +99,9 @@ class Figure7Result:
 
 
 def run_figure7(
-    cycles: int = None, seed: int = 0, outcomes: List[PairOutcome] = None
+    cycles: Optional[int] = None,
+    seed: int = 0,
+    outcomes: Optional[List[PairOutcome]] = None,
 ) -> Figure7Result:
     """Regenerate Figure 7 from (possibly shared) pair runs."""
     if outcomes is None:

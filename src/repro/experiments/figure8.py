@@ -11,7 +11,7 @@ per-workload performance deltas are +41%, −2%, −2%, +14% (average
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..stats.metrics import improvement
 from ..stats.report import render_kv, render_table
@@ -100,7 +100,9 @@ class Figure8Result:
 
 
 def run_figure8(
-    cycles: int = None, seed: int = 0, outcomes: List[QuadOutcome] = None
+    cycles: Optional[int] = None,
+    seed: int = 0,
+    outcomes: Optional[List[QuadOutcome]] = None,
 ) -> Figure8Result:
     """Regenerate Figure 8 from (possibly shared) quad runs."""
     if outcomes is None:

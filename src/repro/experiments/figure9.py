@@ -91,9 +91,9 @@ class Figure9Result:
 
 
 def run_figure9(
-    cycles: int = None,
+    cycles: Optional[int] = None,
     seed: int = 0,
-    outcomes: List[QuadOutcome] = None,
+    outcomes: Optional[List[QuadOutcome]] = None,
     jobs: Optional[int] = None,
 ) -> Figure9Result:
     """Regenerate Figure 9 from (possibly shared) quad runs."""

@@ -33,7 +33,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Union
 
 from .system import SimResult, ThreadResult
 
@@ -141,7 +141,7 @@ class ResultCache:
     leave a torn entry behind.
     """
 
-    def __init__(self, root: os.PathLike):
+    def __init__(self, root: Union[str, os.PathLike]):
         self.root = Path(root).expanduser()
         self.hits = 0
         self.misses = 0
@@ -214,7 +214,7 @@ def active_cache() -> Optional[ResultCache]:
 
 
 def configure_cache(
-    cache_dir: Optional[os.PathLike] = None, enabled: bool = True
+    cache_dir: Optional[Union[str, os.PathLike]] = None, enabled: bool = True
 ) -> Optional[ResultCache]:
     """Explicitly set the process-wide cache (CLI ``--cache-dir``/``--no-cache``).
 

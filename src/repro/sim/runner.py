@@ -69,13 +69,14 @@ def _fetch(spec: RunSpec) -> SimResult:
     if result is not None:
         return result
     disk = result_cache.active_cache()
-    key = spec.fingerprint() if disk is not None else None
     if disk is not None:
+        key = spec.fingerprint()
         result = disk.get(key)
-    if result is None:
-        result = execute_spec(spec)
-        if disk is not None:
+        if result is None:
+            result = execute_spec(spec)
             disk.put(key, result)
+    else:
+        result = execute_spec(spec)
     _memo[spec] = result
     return result
 

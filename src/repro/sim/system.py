@@ -15,8 +15,9 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Sequence, Set, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..check import RunChecker, checks_enabled
 from ..controller.address_map import AddressMap
 from ..controller.controller import MemoryController
 from ..controller.request import MemoryRequest, RequestKind
@@ -24,7 +25,6 @@ from ..core.policies import Policy, fq_vftf_with_bound, get_policy
 from ..cpu.core_model import OooCore
 from ..cpu.hierarchy import CacheHierarchy
 from ..dram.dram_system import DramSystem
-from ..workloads.synthetic import BenchmarkProfile
 from .config import SystemConfig
 
 
@@ -72,7 +72,12 @@ class SimResult:
 class CmpSystem:
     """A runnable CMP + memory-system instance."""
 
-    def __init__(self, config: SystemConfig, profiles: Sequence):
+    def __init__(
+        self,
+        config: SystemConfig,
+        profiles: Sequence,
+        check: Optional[bool] = None,
+    ):
         """Build a system running one workload per core.
 
         ``profiles`` entries may be synthetic
@@ -80,6 +85,13 @@ class CmpSystem:
         recorded :class:`~repro.workloads.trace_workload.TraceWorkload`
         streams — anything exposing ``name``, ``make_trace`` and
         ``prewarm_stream``.
+
+        ``check`` attaches the :mod:`repro.check` runtime validators
+        (protocol sanitizer + scheduler invariant checker) to every
+        controller; ``None`` defers to the ``REPRO_CHECK`` environment
+        variable so checked runs survive the parallel engine's process
+        pool.  Checking never changes results — only whether violations
+        raise.
         """
         if len(profiles) != config.num_cores:
             raise ValueError(
@@ -126,6 +138,15 @@ class CmpSystem:
         #: Single-channel aliases (the common case and the public API).
         self.dram = self.drams[0]
         self.controller = self.controllers[0]
+        if check is None:
+            check = checks_enabled()
+        self.check = check
+        self.checkers: List[RunChecker] = []
+        if check:
+            for controller in self.controllers:
+                checker = RunChecker(controller)
+                controller.checker = checker
+                self.checkers.append(checker)
         #: Requests in flight toward the controllers: (arrival, seq, request).
         self._to_controller: List[Tuple[int, int, MemoryRequest]] = []
         #: Fills in flight toward cores: (deliver, seq, thread, line).
@@ -377,7 +398,17 @@ class CmpSystem:
         before = self._snapshot()
         self.run_cycles(cycles)
         after = self._snapshot()
+        for checker in self.checkers:
+            checker.finalize(self.now)
         return self._result(before, after)
+
+    def check_summary(self) -> Dict[str, int]:
+        """Aggregate checker counters across channels (empty when off)."""
+        totals: Dict[str, int] = {}
+        for checker in self.checkers:
+            for key, value in checker.summary().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def _result(self, before: Dict[str, float], after: Dict[str, float]) -> SimResult:
         window = int(after["cycle"] - before["cycle"])

@@ -10,7 +10,7 @@ co-scheduled run plus per-thread baselines into an auditable report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..sim.system import SimResult
 from .report import render_table
@@ -80,7 +80,7 @@ class QosReport:
 def qos_report(
     result: SimResult,
     baseline_ipcs: Sequence[float],
-    shares: Sequence[float] = None,
+    shares: Optional[Sequence[float]] = None,
     slack: float = 0.05,
 ) -> QosReport:
     """Evaluate each thread of ``result`` against its 1/φ baseline.

@@ -1,0 +1,165 @@
+"""tools/lint_determinism.py: each rule fires on a minimal snippet,
+order-insensitive reducers and suppressions are honoured, and the
+simulator source tree itself is clean."""
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from lint_determinism import lint_paths, lint_source  # noqa: E402
+
+
+def findings_for(snippet):
+    source = textwrap.dedent(snippet)
+    return lint_source(source, Path("snippet.py"))
+
+
+def rules_for(snippet):
+    return [finding.rule for finding in findings_for(snippet)]
+
+
+class TestUnseededRandom:
+    def test_global_random_call(self):
+        assert rules_for("""
+            import random
+            value = random.randint(0, 7)
+        """) == ["DET001"]
+
+    def test_from_import_of_global_function(self):
+        assert rules_for("""
+            from random import shuffle
+        """) == ["DET001"]
+
+    def test_seeded_instance_is_fine(self):
+        assert rules_for("""
+            import random
+            rng = random.Random(42)
+            value = rng.randint(0, 7)
+        """) == []
+
+
+class TestWallClock:
+    def test_time_time(self):
+        assert rules_for("""
+            import time
+            start = time.time()
+        """) == ["DET002"]
+
+    def test_perf_counter(self):
+        assert rules_for("""
+            import time
+            start = time.perf_counter()
+        """) == ["DET002"]
+
+    def test_datetime_now(self):
+        assert rules_for("""
+            from datetime import datetime
+            stamp = datetime.now()
+        """) == ["DET002"]
+
+
+class TestSetIteration:
+    def test_for_loop_over_set_literal_binding(self):
+        assert rules_for("""
+            pending = {1, 2, 3}
+            for item in pending:
+                print(item)
+        """) == ["DET003"]
+
+    def test_for_loop_over_annotated_set(self):
+        assert rules_for("""
+            from typing import Set
+
+            def drain(queue: Set[int]) -> None:
+                for item in queue:
+                    print(item)
+        """) == ["DET003"]
+
+    def test_comprehension_over_set(self):
+        assert rules_for("""
+            seen = set()
+            ordered = [x * 2 for x in seen]
+        """) == ["DET003"]
+
+    def test_order_insensitive_reducer_is_blessed(self):
+        assert rules_for("""
+            seen = set()
+            best = min(x for x in seen)
+            total = sum(seen)
+            count = len(seen)
+            stable = sorted(seen)
+        """) == []
+
+    def test_sorted_wrapping_allows_iteration(self):
+        assert rules_for("""
+            seen = set()
+            for item in sorted(seen):
+                print(item)
+        """) == []
+
+
+class TestFloatPriorityEquality:
+    def test_equality_on_virtual_finish_time(self):
+        assert rules_for("""
+            def tie(a, b):
+                return a.virtual_finish_time == b.virtual_finish_time
+        """) == ["DET004"]
+
+    def test_inequality_on_clock(self):
+        assert rules_for("""
+            def moved(vtms, snapshot):
+                return vtms.clock != snapshot
+        """) == ["DET004"]
+
+    def test_ordering_comparisons_are_fine(self):
+        assert rules_for("""
+            def earlier(a, b):
+                return a.virtual_finish_time < b.virtual_finish_time
+        """) == []
+
+
+class TestMutableDefaults:
+    def test_list_literal_default(self):
+        assert rules_for("""
+            def enqueue(item, queue=[]):
+                queue.append(item)
+        """) == ["DET005"]
+
+    def test_dict_call_default(self):
+        assert rules_for("""
+            def tally(counts=dict()):
+                return counts
+        """) == ["DET005"]
+
+    def test_none_default_is_fine(self):
+        assert rules_for("""
+            def enqueue(item, queue=None):
+                queue = queue or []
+        """) == []
+
+
+class TestSuppression:
+    def test_det_allow_comment_silences_the_line(self):
+        assert rules_for("""
+            import time
+            start = time.time()  # det: allow(host-side profiling only)
+        """) == []
+
+    def test_suppression_is_line_scoped(self):
+        assert rules_for("""
+            import time
+            a = time.time()  # det: allow(profiling)
+            b = time.time()
+        """) == ["DET002"]
+
+
+class TestRealTree:
+    def test_simulator_source_is_clean(self):
+        findings = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_syntax_error_is_reported_not_raised(self):
+        assert rules_for("def broken(:") == ["DET000"]

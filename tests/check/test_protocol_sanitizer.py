@@ -1,0 +1,209 @@
+"""DramProtocolSanitizer: legal streams pass, each rule fires on cue."""
+
+import pytest
+
+from repro.check import DramProtocolSanitizer, ProtocolViolation
+from repro.dram.commands import CommandType
+from repro.dram.timing import DDR2Timing
+
+ACT = CommandType.ACTIVATE
+PRE = CommandType.PRECHARGE
+READ = CommandType.READ
+WRITE = CommandType.WRITE
+
+
+@pytest.fixture
+def timing():
+    return DDR2Timing()
+
+
+@pytest.fixture
+def san(timing):
+    return DramProtocolSanitizer(timing, num_ranks=1, num_banks=8)
+
+
+def violation(san, rule, kind, rank, bank, row, now):
+    """Assert the command trips exactly the named rule."""
+    with pytest.raises(ProtocolViolation) as info:
+        san.on_command(kind, rank, bank, row, now)
+    assert info.value.rule == rule
+    return info.value
+
+
+class TestLegalStreams:
+    def test_open_row_read_burst(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        # CAS cadence of one burst keeps the data bus gap-free but legal.
+        for i in range(3):
+            san.on_command(READ, 0, 0, 5, 1000 + t.t_rcd + i * t.burst)
+        assert san.commands_checked == 4
+
+    def test_activate_precharge_activate_cycle(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(PRE, 0, 0, 0, 1000 + t.t_ras)
+        # t_rp (ending 1230) binds over t_rc (ending 1220) here.
+        san.on_command(ACT, 0, 0, 6, 1000 + t.t_ras + t.t_rp)
+
+    def test_ranks_have_independent_trrd(self, timing):
+        san = DramProtocolSanitizer(timing, num_ranks=2, num_banks=8)
+        san.on_command(ACT, 0, 0, 5, 1000)
+        # Same-rank spacing this tight is illegal; across ranks it is fine
+        # (only the shared address bus forces distinct cycles).
+        san.on_command(ACT, 1, 0, 5, 1001)
+
+    def test_write_then_spaced_read(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(WRITE, 0, 0, 5, 1000 + t.t_rcd)
+        data_end = 1000 + t.t_rcd + t.t_wl + t.burst
+        san.on_command(READ, 0, 0, 5, data_end + t.t_wtr)
+
+
+class TestBankRules:
+    def test_trcd_read_too_early(self, san, timing):
+        san.on_command(ACT, 0, 0, 5, 1000)
+        violation(san, "t_rcd", READ, 0, 0, 5, 1000 + timing.t_rcd - 1)
+
+    def test_tras_precharge_too_early(self, san, timing):
+        san.on_command(ACT, 0, 0, 5, 1000)
+        violation(san, "t_ras", PRE, 0, 0, 0, 1000 + timing.t_ras - 1)
+
+    def test_trp_activate_too_early(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(PRE, 0, 0, 0, 1000 + t.t_ras)
+        violation(san, "t_rp", ACT, 0, 0, 6, 1000 + t.t_ras + t.t_rp - 1)
+
+    def test_trc_activate_to_activate(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(PRE, 0, 0, 0, 1000 + t.t_ras)
+        # One cycle short of t_rc; t_rc is checked before t_rp, so this
+        # names the activate-to-activate rule even though both bind.
+        violation(san, "t_rc", ACT, 0, 0, 6, 1000 + t.t_rc - 1)
+
+    def test_trtp_read_to_precharge(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        read_at = 1000 + t.t_ras - t.t_rtp + 10
+        san.on_command(READ, 0, 0, 5, read_at)
+        violation(san, "t_rtp", PRE, 0, 0, 0, read_at + t.t_rtp - 1)
+
+    def test_twr_write_recovery(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(WRITE, 0, 0, 5, 1000 + t.t_rcd)
+        data_end = 1000 + t.t_rcd + t.t_wl + t.burst
+        assert data_end + t.t_wr > 1000 + t.t_ras  # t_wr binds, not t_ras
+        violation(san, "t_wr", PRE, 0, 0, 0, data_end + t.t_wr - 1)
+
+    def test_activate_with_row_already_open(self, san, timing):
+        san.on_command(ACT, 0, 0, 5, 1000)
+        violation(san, "bank-state", ACT, 0, 0, 6, 1000 + timing.t_rc)
+
+    def test_cas_with_no_row_open(self, san):
+        violation(san, "bank-state", READ, 0, 0, 5, 1000)
+
+    def test_cas_to_wrong_row(self, san, timing):
+        san.on_command(ACT, 0, 0, 5, 1000)
+        violation(san, "bank-state", READ, 0, 0, 6, 1000 + timing.t_rcd)
+
+    def test_precharge_with_no_row_open(self, san):
+        violation(san, "bank-state", PRE, 0, 0, 0, 1000)
+
+
+class TestRankAndChannelRules:
+    def test_trrd_same_rank(self, san, timing):
+        san.on_command(ACT, 0, 0, 5, 1000)
+        violation(san, "t_rrd", ACT, 0, 1, 5, 1000 + timing.t_rrd - 1)
+
+    def test_tfaw_fifth_activate(self, san, timing):
+        t = timing
+        for bank in range(4):
+            san.on_command(ACT, 0, bank, 5, 1000 + bank * t.t_rrd)
+        # Past every t_rrd gate but still inside the four-activate window.
+        assert 3 * t.t_rrd + t.t_rrd < t.t_faw
+        violation(san, "t_faw", ACT, 0, 4, 5, 1000 + t.t_faw - 1)
+
+    def test_tccd_back_to_back_cas(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(READ, 0, 0, 5, 1000 + t.t_rcd)
+        violation(san, "t_ccd", READ, 0, 0, 5, 1000 + t.t_rcd + t.t_ccd - 1)
+
+    def test_twtr_write_to_read_other_bank(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(ACT, 0, 1, 7, 1000 + t.t_rrd)
+        san.on_command(WRITE, 0, 0, 5, 1000 + t.t_rcd)
+        data_end = 1000 + t.t_rcd + t.t_wl + t.burst
+        violation(san, "t_wtr", READ, 0, 1, 7, data_end + t.t_wtr - 1)
+
+    def test_data_bus_burst_overlap(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(READ, 0, 0, 5, 1000 + t.t_rcd)
+        # Legal CAS spacing, but the second burst would start before the
+        # first one's last beat leaves the bus.
+        assert t.t_ccd < t.burst
+        violation(san, "data-bus", READ, 0, 0, 5, 1000 + t.t_rcd + t.burst - 1)
+
+    def test_address_bus_single_command_per_cycle(self, san):
+        san.on_command(ACT, 0, 0, 5, 1000)
+        violation(san, "address-bus", ACT, 0, 1, 5, 1000)
+
+
+class TestRefreshRules:
+    def test_refresh_with_open_row(self, san, timing):
+        san.on_command(ACT, 0, 2, 9, 1000)
+        with pytest.raises(ProtocolViolation) as info:
+            san.on_refresh(1000 + timing.t_ras)
+        assert info.value.rule == "refresh-open-row"
+
+    def test_refresh_before_precharge_settles(self, san, timing):
+        # The device-model bug this sanitizer caught: refresh launched
+        # while the closing precharge was still inside t_rp.
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(PRE, 0, 0, 0, 1000 + t.t_ras)
+        with pytest.raises(ProtocolViolation) as info:
+            san.on_refresh(1000 + t.t_ras + t.t_rp - 1)
+        assert info.value.rule == "t_rp"
+
+    def test_command_during_refresh_blackout(self, san, timing):
+        san.on_refresh(1000)
+        violation(san, "t_rfc", ACT, 0, 0, 5, 1000 + timing.t_rfc - 1)
+        # ... and the same command is legal once the blackout ends.
+        san.on_command(ACT, 0, 0, 5, 1000 + timing.t_rfc)
+
+    def test_refresh_interval_deadline(self, timing):
+        san = DramProtocolSanitizer(timing, refresh_slack=0)
+        san.on_refresh(1000)
+        with pytest.raises(ProtocolViolation) as info:
+            san.on_refresh(1000 + timing.t_refi + 1)
+        assert info.value.rule == "t_refi"
+
+    def test_refresh_interval_within_slack(self, timing):
+        san = DramProtocolSanitizer(timing, refresh_slack=100)
+        san.on_refresh(1000)
+        san.on_refresh(1000 + timing.t_refi + 100)
+        assert san.refreshes_checked == 2
+
+
+class TestDiagnostics:
+    def test_violation_carries_command_history(self, san, timing):
+        t = timing
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(READ, 0, 0, 5, 1000 + t.t_rcd)
+        error = violation(san, "t_ccd", READ, 0, 0, 5, 1000 + t.t_rcd + 1)
+        assert [entry[1] for entry in error.history] == ["activate", "read"]
+        assert error.cycle == 1000 + t.t_rcd + 1
+        assert "t_ccd" in str(error)
+
+    def test_counters_track_observed_traffic(self, san, timing):
+        san.on_command(ACT, 0, 0, 5, 1000)
+        san.on_command(READ, 0, 0, 5, 1000 + timing.t_rcd)
+        assert san.commands_checked == 2
+        assert san.refreshes_checked == 0

@@ -1,7 +1,5 @@
 """Core + prefetcher integration: coverage, budgets, fill handling."""
 
-import pytest
-
 from repro.controller.request import MemoryRequest
 from repro.cpu.cache import CacheConfig
 from repro.cpu.core_model import CoreConfig, OooCore

@@ -53,6 +53,50 @@ class TestTwtr:
         assert rank.earliest_issue(CommandType.WRITE, 0) == 0
 
 
+class TestTfaw:
+    def _four_activates(self, rank, timing, start=1000):
+        """Issue four activates to distinct banks at the t_rrd cadence."""
+        cycles = [start + i * timing.t_rrd for i in range(4)]
+        for bank, cycle in enumerate(cycles):
+            rank.issue(CommandType.ACTIVATE, bank, 5, cycle)
+        return cycles
+
+    def test_fifth_activate_waits_for_window(self, rank, timing):
+        cycles = self._four_activates(rank, timing)
+        earliest = rank.earliest_issue(CommandType.ACTIVATE, 4)
+        # t_faw (180) binds: it exceeds last_activate + t_rrd (1090+30).
+        assert earliest == cycles[0] + timing.t_faw
+        assert earliest > cycles[-1] + timing.t_rrd
+
+    def test_window_slides_after_fifth_activate(self, rank, timing):
+        cycles = self._four_activates(rank, timing)
+        fifth = cycles[0] + timing.t_faw
+        rank.issue(CommandType.ACTIVATE, 4, 5, fifth)
+        # The oldest recorded activate is now cycles[1].
+        assert (
+            rank.earliest_issue(CommandType.ACTIVATE, 5)
+            == cycles[1] + timing.t_faw
+        )
+
+    def test_under_four_activates_only_trrd_applies(self, rank, timing):
+        for bank, cycle in enumerate([1000, 1000 + timing.t_rrd, 1000 + 2 * timing.t_rrd]):
+            rank.issue(CommandType.ACTIVATE, bank, 5, cycle)
+        earliest = rank.earliest_issue(CommandType.ACTIVATE, 3)
+        assert earliest == 1000 + 3 * timing.t_rrd
+
+    def test_loose_window_defers_to_trrd(self, rank, timing):
+        # Four activates spread wider than t_faw: the window is already
+        # satisfied and t_rrd is the binding constraint.
+        gap = timing.t_faw
+        cycles = [1000 + i * gap for i in range(4)]
+        for bank, cycle in enumerate(cycles):
+            rank.issue(CommandType.ACTIVATE, bank, 5, cycle)
+        assert (
+            rank.earliest_issue(CommandType.ACTIVATE, 4)
+            == cycles[-1] + timing.t_rrd
+        )
+
+
 class TestRefresh:
     def test_all_closed_initially(self, rank):
         assert rank.all_closed()

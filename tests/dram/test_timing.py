@@ -39,6 +39,12 @@ class TestTable6Defaults:
         assert timing.t_rfc == 510
         assert timing.t_refi == 280_000
 
+    def test_faw_from_ddr2_800_datasheet(self):
+        # 45 ns at 400 MHz command clock = 18 DRAM clocks (Micron
+        # DDR2-800 x8); Table 6 omits it, so the default derives from
+        # the datasheet at the same 10:1 clock ratio.
+        assert DDR2Timing().t_faw == 18 * DRAM_CLOCK_RATIO
+
     def test_dram_access_time_is_140_cycles(self):
         timing = DDR2Timing()
         assert timing.t_rcd + timing.t_cl + timing.burst == 140
@@ -61,6 +67,25 @@ class TestValidation:
         with pytest.raises(ValueError, match="t_rc"):
             DDR2Timing(t_rc=100, t_ras=180)
 
+    def test_rejects_t_rrd_above_t_ras(self):
+        with pytest.raises(ValueError, match="t_rrd"):
+            DDR2Timing(t_rrd=200, t_ras=180)
+
+    def test_rejects_t_faw_below_t_rrd(self):
+        with pytest.raises(ValueError, match="t_faw"):
+            DDR2Timing(t_faw=20, t_rrd=30)
+
+    def test_rejects_refresh_interval_not_above_refresh_time(self):
+        with pytest.raises(ValueError, match="t_refi"):
+            DDR2Timing(t_refi=510, t_rfc=510)
+
+    def test_paper_defaults_do_not_satisfy_trc_equals_tras_plus_trp(self):
+        # Guard against "tightening" validation with t_rc >= t_ras + t_rp:
+        # the paper's own Table 6 numbers violate it (220 < 180 + 50),
+        # so that check would reject the defaults.
+        t = DDR2Timing()
+        assert t.t_rc < t.t_ras + t.t_rp
+
 
 class TestScaling:
     def test_scaled_doubles_constraints(self):
@@ -71,8 +96,21 @@ class TestScaling:
         assert scaled.t_rc == 2 * base.t_rc
 
     def test_scaled_preserves_refresh_interval(self):
-        # t_refi is a wall-clock deadline, not a device speed.
+        # t_refi is a wall-clock deadline, not a device speed: cell
+        # retention does not change when the device is modeled slower,
+        # so the refresh cadence must not stretch with the scale factor.
         assert DDR2Timing().scaled(2.0).t_refi == DDR2Timing().t_refi
+
+    def test_scaled_scales_refresh_operation(self):
+        # ... but t_rfc is an operation *duration* and scales like any
+        # other constraint (regression: t_refi and t_rfc must not be
+        # lumped together by scaled()).
+        base = DDR2Timing()
+        assert base.scaled(2.0).t_rfc == 2 * base.t_rfc
+
+    def test_scaled_scales_faw_window(self):
+        base = DDR2Timing()
+        assert base.scaled(2.0).t_faw == 2 * base.t_faw
 
     def test_scale_by_one_is_identity(self):
         base = DDR2Timing()

@@ -8,8 +8,6 @@ other thread's load — and under FR-FCFS the same setup lets the bursty
 thread capture far more than its share.
 """
 
-import pytest
-
 from repro.controller.address_map import AddressMap
 from repro.controller.controller import MemoryController
 from repro.controller.request import MemoryRequest, RequestKind

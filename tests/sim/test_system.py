@@ -1,7 +1,5 @@
 """CmpSystem integration: determinism, conservation, fast-forward."""
 
-import dataclasses
-
 import pytest
 
 from repro.sim.config import SystemConfig

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.system import SimResult, ThreadResult
-from repro.stats.qos import QosReport, QosVerdict, qos_report
+from repro.stats.qos import QosVerdict, qos_report
 
 
 def thread(name, ipc, cycles=1000):
