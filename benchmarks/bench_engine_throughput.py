@@ -1,14 +1,19 @@
 """Engine throughput: simulated cycles per wall-clock second.
 
-Times the raw cycle loop (no result cache, no fan-out) on the paper's
-flagship interference pair — vpr co-scheduled with art — under the
-first-ready baseline and the fair-queuing scheduler.  The measured
-rates land in ``BENCH_engine.json`` at the repository root so the
-performance trajectory is tracked across changes.
+Times both simulation engines (the event-driven skip-to-next-event
+loop and the per-cycle oracle) on two workloads — the paper's flagship
+interference pair, vpr co-scheduled with art, and a four-processor mix
+(art+vpr+parser+crafty) — under the first-ready baseline and the
+fair-queuing scheduler.  No result cache, no fan-out.  The measured
+rates and the event engine's skip ratios land in ``BENCH_engine.json``
+at the repository root so the performance trajectory is tracked across
+changes.
 
 Run length follows ``REPRO_SIM_CYCLES`` like every other benchmark, so
 CI can smoke-test with a short run while local measurements use the
-full default window.
+full default window.  CI's smoke-perf job additionally asserts the
+tripwire below: the event engine must not fall behind the per-cycle
+oracle on the pair workload.
 """
 
 import json
@@ -22,49 +27,103 @@ from repro.sim.runner import default_warmup, run_workload
 from repro.workloads.spec2000 import profile as lookup_profile
 
 POLICIES = ("FR-FCFS", "FQ-VFTF")
+ENGINES = ("cycle", "event")
+WORKLOADS = {
+    "vpr+art": ("vpr", "art"),
+    "art+vpr+parser+crafty": ("art", "vpr", "parser", "crafty"),
+}
 ROUNDS = 3
+
+#: The event engine must stay at least this fraction of the per-cycle
+#: oracle's throughput on the pair workload.  Deliberately generous —
+#: an engine regression shows up as a large multiple, not a few
+#: percent — so machine noise never trips it.
+EVENT_SPEED_FLOOR = 0.8
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
-def _cycles_per_second(policy: str, cycles: int) -> float:
-    """Best-of-N throughput of one fresh vpr+art simulation."""
-    profiles = [lookup_profile("vpr"), lookup_profile("art")]
+def _measure(workload, policy: str, engine: str, cycles: int):
+    """Best-of-N throughput of one fresh simulation; returns (rate, skip)."""
+    profiles = [lookup_profile(name) for name in workload]
     warmup = default_warmup(cycles)
     simulated = cycles + warmup
     best = 0.0
+    skip_ratio = 0.0
     for _ in range(ROUNDS):
         start = perf_counter()
-        run_workload(profiles, policy, cycles=cycles, warmup=warmup)
+        result = run_workload(
+            profiles, policy, cycles=cycles, warmup=warmup, engine=engine
+        )
         elapsed = perf_counter() - start
         best = max(best, simulated / elapsed)
-    return best
+        skip_ratio = result.extras.get("engine_skip_ratio", 0.0)
+    return best, skip_ratio
+
+
+def _measure_all(cycles: int):
+    rows = {}
+    for tag, workload in WORKLOADS.items():
+        rows[tag] = {}
+        for policy in POLICIES:
+            rows[tag][policy] = {}
+            for engine in ENGINES:
+                rate, skip = _measure(workload, policy, engine, cycles)
+                rows[tag][policy][engine] = {
+                    "cycles_per_second": round(rate, 1),
+                    "skip_ratio": round(skip, 4),
+                }
+    return rows
 
 
 def test_engine_throughput(benchmark, cycles):
-    rates = once(
-        benchmark,
-        lambda: {p: _cycles_per_second(p, cycles) for p in POLICIES},
-    )
+    rows = once(benchmark, lambda: _measure_all(cycles))
     print()
-    for policy, rate in rates.items():
-        print(f"  {policy:12s} {rate:10,.0f} simulated cycles/sec")
+    for tag, policies in rows.items():
+        for policy, engines in policies.items():
+            for engine, row in engines.items():
+                print(
+                    f"  {tag:22s} {policy:8s} {engine:6s}"
+                    f" {row['cycles_per_second']:10,.0f} cyc/s"
+                    f"  skip {row['skip_ratio']:.1%}"
+                )
 
     RESULT_PATH.write_text(
         json.dumps(
             {
-                "workload": "vpr+art",
                 "measurement_cycles": cycles,
                 "warmup_cycles": default_warmup(cycles),
                 "rounds": ROUNDS,
                 "python": platform.python_version(),
-                "cycles_per_second": {p: round(r, 1) for p, r in rates.items()},
+                "workloads": rows,
+                # Back-compat summary: the pair workload's event-engine
+                # rates under the original schema's key.
+                "workload": "vpr+art",
+                "cycles_per_second": {
+                    p: rows["vpr+art"][p]["event"]["cycles_per_second"]
+                    for p in POLICIES
+                },
             },
             indent=2,
         )
         + "\n"
     )
 
-    # Sanity floor only: absolute rates vary wildly across machines.
-    for policy, rate in rates.items():
-        assert rate > 0, f"{policy} reported non-positive throughput"
+    for tag, policies in rows.items():
+        for policy, engines in policies.items():
+            for engine, row in engines.items():
+                assert row["cycles_per_second"] > 0, (
+                    f"{tag}/{policy}/{engine} reported non-positive throughput"
+                )
+
+    # CI tripwire: skipping must help (or at the very least not hurt)
+    # on the pair workload.
+    for policy in POLICIES:
+        pair = rows["vpr+art"][policy]
+        floor = EVENT_SPEED_FLOOR * pair["cycle"]["cycles_per_second"]
+        assert pair["event"]["cycles_per_second"] >= floor, (
+            f"event engine slower than {EVENT_SPEED_FLOOR:.0%} of the "
+            f"per-cycle oracle under {policy}: "
+            f"{pair['event']['cycles_per_second']:,.0f} vs "
+            f"{pair['cycle']['cycles_per_second']:,.0f} cyc/s"
+        )

@@ -7,15 +7,21 @@ runs produced **bit-identical** results.  The second property is what
 makes ``--check`` safe to leave on: the checkers observe, they must
 never steer.
 
+The same harness also cross-checks the two simulation engines: the
+event-driven engine (skip-to-next-event) must produce bit-identical
+results to the per-cycle oracle for every policy, on both the
+two-processor and four-processor canonical workloads.
+
 Used by the ``check`` CLI subcommand and the differential test suite.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Sequence, Tuple
 
 from ..sim.config import SystemConfig
-from ..sim.system import CmpSystem, SimResult
+from ..sim.system import CmpSystem, SimResult, comparable_result
 from ..workloads.spec2000 import profile
 
 #: The paper's three headline policies (§5 evaluation).
@@ -25,6 +31,11 @@ DEFAULT_POLICIES: Tuple[str, ...] = ("FR-FCFS", "FR-VFTF", "FQ-VFTF")
 #: bandwidth-hungry art stream (Figures 1 and 5–7).
 DEFAULT_WORKLOAD: Tuple[str, ...] = ("vpr", "art")
 
+#: Four-processor mix covering the interesting behaviours: a stream
+#: (art), an irregular latency-sensitive thread (vpr), a mixed pointer
+#: chaser (parser), and a cache-resident thread (crafty).
+QUAD_WORKLOAD: Tuple[str, ...] = ("art", "vpr", "parser", "crafty")
+
 
 def run_checked_pair(
     policy: str,
@@ -32,16 +43,19 @@ def run_checked_pair(
     seed: int = 0,
     workload: Sequence[str] = DEFAULT_WORKLOAD,
     warmup: int = 0,
+    engine: str | None = None,
 ) -> Tuple[SimResult, SimResult, Dict[str, int]]:
     """Run ``workload`` under ``policy`` unchecked then checked.
 
     Returns ``(plain, checked, counters)`` where ``counters`` is the
     checked system's :meth:`~repro.sim.system.CmpSystem.check_summary`.
     Both runs build fresh systems from the same config, so any
-    divergence is the checkers' fault, not residual state.
+    divergence is the checkers' fault, not residual state.  ``engine``
+    pins the simulation engine; None defers to the environment default.
     """
+    kwargs = {} if engine is None else {"engine": engine}
     config = SystemConfig(
-        policy=policy, num_cores=len(workload), seed=seed
+        policy=policy, num_cores=len(workload), seed=seed, **kwargs
     )
     profiles = [profile(name) for name in workload]
     plain = CmpSystem(config, profiles, check=False).run(cycles, warmup=warmup)
@@ -50,17 +64,57 @@ def run_checked_pair(
     return plain, checked, checked_system.check_summary()
 
 
+def run_engine_pair(
+    policy: str,
+    cycles: int,
+    seed: int = 0,
+    workload: Sequence[str] = DEFAULT_WORKLOAD,
+    warmup: int = 0,
+    check: bool = True,
+) -> Tuple[SimResult, SimResult]:
+    """Run ``workload`` under both engines; return (cycle, event) results.
+
+    Both systems are built from otherwise-identical configs, with the
+    runtime checkers attached so the event engine is validated against
+    the protocol sanitizer as well as against the oracle.
+    """
+    profiles = [profile(name) for name in workload]
+    results = []
+    for engine in ("cycle", "event"):
+        config = SystemConfig(
+            policy=policy, num_cores=len(workload), seed=seed, engine=engine
+        )
+        results.append(
+            CmpSystem(config, profiles, check=check).run(cycles, warmup=warmup)
+        )
+    return results[0], results[1]
+
+
+def _assert_identical(label: str, oracle: SimResult, subject: SimResult) -> None:
+    a = dataclasses.asdict(comparable_result(oracle))
+    b = dataclasses.asdict(comparable_result(subject))
+    if a != b:
+        raise AssertionError(
+            f"{label}: results diverged (oracle={a!r}, subject={b!r})"
+        )
+
+
 def differential_report(
     cycles: int,
     seed: int = 0,
     policies: Sequence[str] = DEFAULT_POLICIES,
     workload: Sequence[str] = DEFAULT_WORKLOAD,
 ) -> str:
-    """Run the differential check for every policy; return a report.
+    """Run the differential checks for every policy; return a report.
+
+    Two independent comparisons per policy: checked vs unchecked (the
+    checkers must observe, never steer) and event engine vs per-cycle
+    oracle (skipping must not change a single bit) — the latter on both
+    the pair workload and the four-processor mix.
 
     Raises the underlying :class:`~repro.check.CheckError` on any
-    protocol or invariant violation, and :class:`AssertionError` if a
-    checked run diverges from its unchecked twin.
+    protocol or invariant violation, and :class:`AssertionError` on any
+    divergence.
     """
     lines = [
         f"differential check: workload={'+'.join(workload)} "
@@ -78,5 +132,17 @@ def differential_report(
             )
         detail = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
         lines.append(f"  {policy:<10s} OK bit-identical; {detail}")
+    for engine_workload in (workload, QUAD_WORKLOAD):
+        tag = "+".join(engine_workload)
+        for policy in policies:
+            oracle, event = run_engine_pair(
+                policy, cycles, seed=seed, workload=engine_workload
+            )
+            _assert_identical(f"{policy} on {tag}", oracle, event)
+            ratio = event.extras.get("engine_skip_ratio", 0.0)
+            lines.append(
+                f"  {policy:<10s} OK engines bit-identical on {tag} "
+                f"(skip ratio {ratio:.1%})"
+            )
     lines.append("all policies clean: 0 violations, results identical")
     return "\n".join(lines)

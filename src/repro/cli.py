@@ -150,6 +150,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sanitizer + scheduler invariant checker) to every freshly "
         "simulated run; equivalent to REPRO_CHECK=1",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("cycle", "event"),
+        default=None,
+        help="simulation engine: 'event' (skip-to-next-event, the "
+        "default) or 'cycle' (step every cycle; the differential "
+        "oracle); equivalent to REPRO_ENGINE",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs <= 0:
         parser.error("--jobs must be positive")
@@ -159,6 +167,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # re-simulating; use --no-cache to force every run through the
         # checkers.
         os.environ["REPRO_CHECK"] = "1"
+    if args.engine is not None:
+        # Same environment plumbing as --check: worker processes build
+        # their configs from REPRO_ENGINE.  The fingerprint includes the
+        # engine, so cached results never cross engines.
+        os.environ["REPRO_ENGINE"] = args.engine
     configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
 
     targets = FIGURES + ("ablations",) if args.experiment == "all" else (args.experiment,)

@@ -52,6 +52,10 @@ class CandidateCommand:
 #: Ordering key that sorts auto-precharge candidates after any request.
 _AUTO_PRECHARGE_KEY = (float("inf"),)
 
+#: Wake bound meaning "this bank has no work at all"; stays cached
+#: until a request arrives for the bank.
+IDLE_BOUND = 1 << 62
+
 
 class BankScheduler:
     """Scheduler and pending-request queue for one (rank, bank) pair."""
@@ -330,6 +334,35 @@ class BankScheduler:
         return self._candidate_for(
             best_request, now, kind=best_kind, ready=not best_sort[0]
         )
+
+    def cacheable_wake(self, now: int) -> Optional[int]:
+        """Lower bound on this bank's next possibly-ready candidate.
+
+        The channel scheduler caches the result and skips this bank's
+        :meth:`candidate` call until the bound elapses.  The bound must
+        only move *later* while cached, which holds because command
+        issues elsewhere can only push DRAM timing out, and every event
+        that could pull it in (an arrival, an issue on this bank, a
+        refresh, a write-drain flip) invalidates the cache.
+
+        Returns ``IDLE_BOUND`` when the bank has no work at all, and
+        ``None`` when no bound may be cached: in committed FQ mode the
+        nominated request — and with it the command kind probed for
+        readiness — can change whenever other banks' issues move the
+        thread VTMS, so the bank must be polled every cycle.
+        """
+        bank = self._bank_state()
+        if (
+            self.policy.fq_bank_rule
+            and bank.open_row is not None
+            and self.queue
+            and now - bank.last_activate >= self.inversion_bound
+        ):
+            return None
+        t = self.earliest_possible_issue(now)
+        if t is None:
+            return IDLE_BOUND
+        return t
 
     def earliest_possible_issue(self, now: int) -> Optional[int]:
         """Earliest future cycle any of this bank's candidates could issue.

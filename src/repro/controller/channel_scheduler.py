@@ -6,13 +6,24 @@ It uses the same priority levels as the bank schedulers: CAS commands
 before RAS commands, then the policy's ordering key.  Channel-level
 timing (address bus, data bus, t_ccd, t_wtr, t_rrd) has already been
 folded into each candidate's readiness by the DRAM model.
+
+To keep the scan cheap, the scheduler caches a per-bank lower bound on
+the next cycle that bank could nominate a *ready* command
+(:meth:`BankScheduler.cacheable_wake`) and skips banks whose bound has
+not elapsed.  Skipping is sound because issues elsewhere only push
+DRAM timing later, and every event that could pull a bound earlier —
+an arrival for the bank, an issue on the bank, a refresh, a
+write-drain eligibility flip — invalidates the cache via
+:meth:`invalidate` / :meth:`invalidate_all`.  Selection is therefore
+bit-identical to scanning every bank: skipped banks could only have
+contributed non-ready candidates, which the scan discards anyway.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
-from .bank_scheduler import BankScheduler, CandidateCommand
+from .bank_scheduler import BankScheduler, CandidateCommand, IDLE_BOUND
 
 
 class ChannelScheduler:
@@ -20,6 +31,23 @@ class ChannelScheduler:
 
     def __init__(self, bank_schedulers: Iterable[BankScheduler]):
         self.bank_schedulers = list(bank_schedulers)
+        self._index = {
+            (s.rank, s.bank): i for i, s in enumerate(self.bank_schedulers)
+        }
+        #: Per-bank wake bound; None = must poll (never computed, just
+        #: invalidated, or the bank is in committed FQ mode where no
+        #: bound may be cached).
+        self._bounds: List[Optional[int]] = [None] * len(self.bank_schedulers)
+
+    def invalidate(self, rank: int, bank: int) -> None:
+        """Drop the cached bound for one bank (its state changed)."""
+        self._bounds[self._index[(rank, bank)]] = None
+
+    def invalidate_all(self) -> None:
+        """Drop every cached bound (refresh or write-drain flip)."""
+        bounds = self._bounds
+        for i in range(len(bounds)):
+            bounds[i] = None
 
     def select(
         self, now: int, draining_for_refresh: bool = False
@@ -27,11 +55,38 @@ class ChannelScheduler:
         """The highest-priority ready candidate at cycle ``now``, if any."""
         best: Optional[CandidateCommand] = None
         best_sort = None
-        for scheduler in self.bank_schedulers:
+        bounds = self._bounds
+        for i, scheduler in enumerate(self.bank_schedulers):
+            bound = bounds[i]
+            if bound is not None and bound > now:
+                continue
             cand = scheduler.candidate(now, draining_for_refresh)
             if cand is None or not cand.ready:
+                bounds[i] = scheduler.cacheable_wake(now)
                 continue
             sort = (not cand.kind.is_cas, cand.key)
             if best_sort is None or sort < best_sort:
                 best, best_sort = cand, sort
         return best
+
+    def min_wake(self, now: int) -> Optional[int]:
+        """Earliest cached (or computed) wake bound across all banks.
+
+        Used by the controller's sleep logic right after a fruitless
+        :meth:`select`, when every pollable bank's bound is fresh.  A
+        cached bound can only be conservative (early), which at worst
+        wakes the controller for a no-op scan.
+        """
+        wake: Optional[int] = None
+        bounds = self._bounds
+        for i, scheduler in enumerate(self.bank_schedulers):
+            bound = bounds[i]
+            if bound is None:
+                bound = scheduler.earliest_possible_issue(now)
+                if bound is None:
+                    continue
+            elif bound >= IDLE_BOUND:
+                continue
+            if wake is None or bound < wake:
+                wake = bound
+        return wake

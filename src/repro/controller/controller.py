@@ -199,6 +199,7 @@ class MemoryController:
                 self.dram.timing.service_closed,
             )
         self._scheduler_index[(request.rank, request.bank)].add(request)
+        self.channel_scheduler.invalidate(request.rank, request.bank)
         self._pending[request.thread_id].add(request)
         self._refresh_oldest_arrival(request.thread_id)
         self.stats.requests_accepted[request.thread_id] += 1
@@ -238,13 +239,17 @@ class MemoryController:
                 # start cycle itself counts as a refresh cycle.
                 self._sleep_until = self.dram.refresh_end or now
                 in_refresh = True
+                # Refresh resets every bank (rows closed, t_rfc timing),
+                # so cached wake bounds no longer describe anything.
+                self.channel_scheduler.invalidate_all()
                 if self.checker is not None:
                     self.checker.on_refresh(now)
             else:
                 if self._update_write_drain():
-                    # Eligibility flipped: previously computed sleep no
-                    # longer describes the candidate set.
+                    # Eligibility flipped: previously computed sleep and
+                    # wake bounds no longer describe the candidate set.
                     self._sleep_until = 0
+                    self.channel_scheduler.invalidate_all()
                 if now >= self._sleep_until:
                     cand = self.channel_scheduler.select(
                         now, draining_for_refresh=draining
@@ -279,11 +284,7 @@ class MemoryController:
 
     def _compute_sleep(self, now: int) -> int:
         """First future cycle a command could become ready (no arrivals)."""
-        wake: Optional[int] = None
-        for scheduler in self.bank_schedulers:
-            t = scheduler.earliest_possible_issue(now)
-            if t is not None and (wake is None or t < wake):
-                wake = t
+        wake = self.channel_scheduler.min_wake(now)
         if wake is None:
             # No queued work at all: sleep until something arrives
             # (arrival resets the sleep) or a refresh falls due.
@@ -316,6 +317,7 @@ class MemoryController:
             )
         scheduler = self._scheduler_index[(cand.rank, cand.bank)]
         scheduler.on_issue(cand, now)
+        self.channel_scheduler.invalidate(cand.rank, cand.bank)
 
         if (
             self.vtms is not None
@@ -360,42 +362,57 @@ class MemoryController:
                 completed.append(request)
         return completed
 
-    # -- idle fast-forward support ---------------------------------------------
+    # -- event-driven engine support ---------------------------------------------
 
     def next_event_time(self, now: int) -> Optional[int]:
-        """Earliest future cycle at which the controller might act.
+        """Earliest cycle ≥ ``now`` at which this controller's tick could
+        do real work — complete in-flight data, start or finish a
+        refresh, or issue a command — assuming no new request is
+        accepted first (an acceptance happens only at a stepped cycle
+        and resets ``_sleep_until``).
 
-        Used by the simulation loop to skip quiescent stretches.  A
-        conservative answer (too early) is always safe; ``None`` means
-        the controller is fully idle.
+        A conservative answer (too early) is always safe: the engine
+        just steps a no-op cycle.  ``None`` means fully idle: nothing
+        queued, nothing in flight, refresh disabled.
         """
         candidates: List[int] = []
         if self._in_flight:
             candidates.append(self._in_flight[0][0])
-        busy = any(self._pending[t] for t in range(self.num_threads)) or any(
-            bank.is_open for _, bank in self.dram.iter_banks()
-        )
-        if busy:
-            # The scheduling sleep (set by the last tick) bounds when a
-            # command could next become ready.
-            if self._sleep_until > now + 1:
-                candidates.append(self._sleep_until)
-            else:
-                candidates.append(now + 1)
-        if self.dram.enable_refresh and self.dram.next_refresh_due is not None:
-            candidates.append(max(now + 1, self.dram.next_refresh_due))
-        if self.dram.refresh_end is not None and self.dram.refresh_end > now:
-            candidates.append(self.dram.refresh_end)
+        refresh_end = self.dram.refresh_end
+        if refresh_end is not None and refresh_end > now:
+            # Mid-refresh: scheduling is blacked out until it completes
+            # (data already in flight still drains via the bound above).
+            candidates.append(refresh_end)
+        elif self.dram.refresh_due(now):
+            # Refresh pending: the drain — precharging open banks, then
+            # the REF command once every bank is idle — is a
+            # cycle-by-cycle negotiation, so step through it.  Bounded
+            # by t_rp plus in-flight CAS completions, so it is short.
+            candidates.append(now)
+        else:
+            busy = any(self._pending[t] for t in range(self.num_threads)) or any(
+                bank.is_open for _, bank in self.dram.iter_banks()
+            )
+            if busy:
+                # The scheduling sleep (set by the last tick) bounds
+                # when a command could next become ready.
+                candidates.append(max(now, self._sleep_until))
+            if self.dram.enable_refresh and self.dram.next_refresh_due is not None:
+                candidates.append(max(now, self.dram.next_refresh_due))
         if not candidates:
             return None
         return min(candidates)
 
     def skip_cycles(self, now: int, target: int) -> None:
-        """Fast-forward the controller clock from ``now`` to ``target``.
+        """Fast-forward over the no-op cycles ``[now, target)``.
 
-        Only legal while the controller is quiescent.  The FQ real
-        clock advances by the skipped span minus any overlap with an
-        in-progress refresh (the clock freezes during refresh).
+        Only legal when :meth:`next_event_time` proved no tick in the
+        span does real work.  The FQ real clock advances by the skipped
+        span minus any overlap with an in-progress refresh (the clock
+        freezes during refresh).  ``self.now`` lands on ``target - 1``
+        — exactly where ``tick(target - 1)`` would have left it — so a
+        request delivered at cycle ``target`` (delivery precedes the
+        tick) stamps the same arrival time under both engines.
         """
         if target <= now:
             return
@@ -405,7 +422,20 @@ class MemoryController:
             if refresh_end is not None and refresh_end > now:
                 skipped -= min(refresh_end, target) - now
             self.vtms.clock += skipped
-        self.now = target
+        self.now = target - 1
+
+    def skip_interface_nacks(self, thread_id: int, cycles: int) -> None:
+        """Account ``cycles`` of per-cycle head-of-queue retry NACKs.
+
+        The system retries each non-empty interface queue's head once
+        per cycle; over a skipped span in which the head would have
+        been rejected throughout, that is one buffer NACK and one
+        controller NACK per cycle.
+        """
+        if cycles <= 0:
+            return
+        self.stats.requests_nacked[thread_id] += cycles
+        self.buffers.nack_count[thread_id] += cycles
 
     # -- reporting ----------------------------------------------------------------
 

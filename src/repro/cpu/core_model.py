@@ -381,7 +381,34 @@ class OooCore:
             if isinstance(op, WindowOp):
                 self._finish_op(op)
 
-    # -- idle fast-forward support ---------------------------------------------
+    # -- event-driven engine support --------------------------------------------
+    #
+    # The engine may jump the global clock from ``now`` to some
+    # ``target`` provided every intervening cycle is provably a no-op
+    # for every component, up to counters that can be replicated in
+    # bulk.  For a core that contract splits three ways:
+    #
+    # * **asleep** — every op waits on a miss and retirement is blocked;
+    #   only a fill (delivered by the system) changes anything, so
+    #   :meth:`wake_time` returns None and :meth:`sleep_skip` accounts
+    #   the span.
+    # * **quiescent** — pure compute; the only future event is reaching
+    #   the next fetch point as the ROB retires toward it.
+    # * **active** — ops in flight but nothing issuable *this* cycle: no
+    #   READY op (issuing would touch cache LRU state and train the
+    #   prefetcher), no fetch headroom, no local completion due, no
+    #   prefetch the stream engine would emit.  Such a cycle only
+    #   advances retirement (a pure function of the frozen window) and,
+    #   when a credit-blocked writeback is pending, records one NACK —
+    #   both replicated exactly by :meth:`skip`.
+    #
+    # Wake times are conservative: answering *early* merely steps a
+    # no-op cycle, answering late would diverge from the cycle oracle.
+
+    #: Cap on the retirement-recurrence walk inside :meth:`wake_time`.
+    #: If the window's drain takes longer to converge, the wake time
+    #: falls back to a conservative (early, therefore safe) bound.
+    _RETIRE_WALK_LIMIT = 512
 
     @property
     def asleep(self) -> bool:
@@ -403,6 +430,154 @@ class OooCore:
             and len(self.mshr) == 0
             and not self._local_done
         )
+
+    def has_blocked_writeback(self) -> bool:
+        """True when a pending writeback exists (head retried each cycle)."""
+        return bool(self.hierarchy.pending_writebacks)
+
+    def _retire_blocker(self) -> Optional[int]:
+        """Position of the oldest incomplete load, as :meth:`_retire` sees it."""
+        for op in self._window:
+            if not op.is_write:
+                return op.pos
+        return None
+
+    def wake_time(self, now: int) -> Optional[int]:
+        """Earliest cycle ≥ ``now`` whose tick could do unskippable work.
+
+        ``None`` means no self-generated event exists: only an external
+        fill (tracked by the system's delivery heap) can change this
+        core's state.  The caller must separately check whether a
+        pending head writeback would be *accepted* this cycle — that
+        depends on controller buffer state the core cannot see.
+        """
+        if self._asleep:
+            return None
+        if self.prefetcher.would_issue(len(self._prefetch_lines)):
+            return now
+        if self.quiescent():
+            if self._next_pos is None:
+                return None
+            gap = self._next_pos - (self._retired + self.config.rob_size)
+            if gap <= 0:
+                return now
+            return now + max(1, math.ceil(gap / self.config.retire_width))
+        for op in self._window:
+            if op.state == _OpState.READY:
+                return now
+        events: List[int] = []
+        if self._local_done:
+            head = self._local_done[0][0]
+            if head <= now:
+                return now
+            events.append(head)
+        retire_event = self._retire_walk(now)
+        if retire_event is not None:
+            if retire_event <= now:
+                return now
+            events.append(retire_event)
+        if not events:
+            return None
+        return min(events)
+
+    def _retire_walk(self, now: int) -> Optional[int]:
+        """Earliest retirement-driven event ≥ ``now`` (fetch or stall).
+
+        Walks the per-cycle retirement recurrence against the frozen
+        window to find (a) the first cycle at which the fetch frontier
+        comes within ROB reach, and (b) — when the core could fall
+        asleep — the first cycle whose tick makes no progress, which
+        must be stepped so ``tick`` performs the sleep transition.
+        """
+        width = self.config.retire_width
+        rob = self.config.rob_size
+        next_pos = self._next_pos
+        blocker = self._retire_blocker()
+        can_fetch = (
+            self._next_record is not None
+            and len(self._window) < self.config.lsq_size
+        )
+        # Cores holding writebacks (or due local completions) never pass
+        # the made-progress test, so they cannot fall asleep mid-span.
+        may_stall = (
+            bool(self._window)
+            and not self.hierarchy.pending_writebacks
+            and not self._local_done
+        )
+        if blocker is None and next_pos is None:
+            # Degenerate tail (trace exhausted, store-only window):
+            # retirement advances unboundedly; don't skip.
+            return now
+        if can_fetch and next_pos is not None and next_pos <= self._retired + rob:
+            return now
+        if not can_fetch and not may_stall:
+            return None
+        retired = self._retired
+        for k in range(self._RETIRE_WALK_LIMIT):
+            target = retired + width
+            if blocker is not None and target > blocker:
+                target = float(blocker)
+            if next_pos is not None and target > next_pos:
+                target = float(next_pos)
+            if target <= retired:
+                # Tick at now + k retires nothing: the stall cycle.
+                return now + k if may_stall else None
+            retired = target
+            if can_fetch and next_pos is not None and next_pos <= retired + rob:
+                # Tick at now + k retires to ``retired``; the fetch at
+                # now + k + 1 sees it within ROB reach.
+                return now + k + 1
+        return now + self._RETIRE_WALK_LIMIT
+
+    def skip(self, now: int, target: int) -> None:
+        """Bulk-account the no-op cycles ``[now, target)`` for this core.
+
+        Legal only when the engine verified nothing unskippable happens
+        in the span (see :meth:`wake_time`); replicates exactly what
+        ``target - now`` consecutive ticks would have done.
+        """
+        if target <= now:
+            return
+        if self._asleep:
+            self.sleep_skip(target - now)
+        elif self.quiescent():
+            self.skip_to(now, target)
+        else:
+            self._active_skip(now, target)
+
+    def _active_skip(self, now: int, target: int) -> None:
+        span = target - now
+        self.stats.cycles += span
+        if self.hierarchy.pending_writebacks:
+            # One rejected head-of-queue submit per cycle (the engine
+            # only skips while the head would be NACKed throughout).
+            self.stats.nacks += span
+        # Replicate _retire cycle by cycle against the frozen window;
+        # float accumulation order must match the oracle exactly.
+        width = self.config.retire_width
+        next_pos = self._next_pos
+        blocker = self._retire_blocker()
+        retired = self._retired
+        remaining = span
+        while remaining > 0:
+            target_r = retired + width
+            blocked = blocker is not None and target_r > blocker
+            if blocked:
+                target_r = float(blocker)
+            if next_pos is not None and target_r > next_pos:
+                target_r = float(next_pos)
+            if target_r > retired:
+                if blocked:
+                    self.stats.head_block_cycles += 1
+                self.stats.instructions += target_r - retired
+                retired = target_r
+                remaining -= 1
+            else:
+                # Converged: every remaining cycle repeats identically.
+                if blocked:
+                    self.stats.head_block_cycles += remaining
+                remaining = 0
+        self._retired = retired
 
     def next_event_time(self, now: int) -> Optional[int]:
         """Next cycle this core could submit memory work, or None if done."""

@@ -97,6 +97,26 @@ class StreamPrefetcher:
             )
             self._streams.popleft()
 
+    def would_issue(self, outstanding: int) -> bool:
+        """True iff :meth:`candidates` would return a non-empty list.
+
+        Side-effect-free twin of the issue decision, used by the
+        event-driven engine: a cycle where this is False is provably
+        prefetch-inert, so it can be skipped without consulting (and
+        thereby mutating) the stream state.
+        """
+        if not self.config.enabled:
+            return False
+        if self.config.budget - outstanding <= 0:
+            return False
+        for stream in self._streams:
+            if stream.confirms < 2:
+                continue
+            allowed = min(self.config.depth, 2 * (stream.confirms - 1))
+            if stream.frontier - stream.next_line < allowed:
+                return True
+        return False
+
     def candidates(self, outstanding: int, now: int) -> List[int]:
         """Lines to prefetch this cycle, respecting depth and budget."""
         if not self.config.enabled:

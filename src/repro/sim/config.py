@@ -2,12 +2,26 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..cpu.cache import CacheConfig, L1D_CONFIG, L1I_CONFIG, L2_CONFIG
 from ..cpu.core_model import CoreConfig
 from ..dram.timing import DDR2Timing
+
+#: Environment variable selecting the simulation engine ("event" or
+#: "cycle").  Read at config construction time so the parallel engine's
+#: worker processes inherit the choice, exactly like ``REPRO_CHECK``.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+ENGINES = ("cycle", "event")
+
+
+def default_engine() -> str:
+    """Engine selected by ``REPRO_ENGINE`` (default: ``event``)."""
+    value = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+    return value if value else "event"
 
 
 @dataclass(frozen=True)
@@ -42,6 +56,10 @@ class SystemConfig:
             conflict or refresh forces them shut).
         write_drain: "fcfs" (paper's behaviour — writes scheduled like
             reads) or "watermark" (hold writebacks, drain in bursts).
+        engine: Simulation engine — "event" (skip-to-next-event, the
+            default) or "cycle" (step every cycle; the differential
+            oracle).  Both produce bit-identical results; defaults from
+            ``REPRO_ENGINE`` so process-pool workers inherit it.
     """
 
     num_cores: int = 2
@@ -67,8 +85,13 @@ class SystemConfig:
     inversion_bound: Optional[int] = None
     row_policy: str = "closed"
     write_drain: str = "fcfs"
+    engine: str = field(default_factory=default_engine)
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if self.write_drain not in ("fcfs", "watermark"):
             raise ValueError(
                 f"write_drain must be 'fcfs' or 'watermark', got {self.write_drain!r}"
@@ -122,4 +145,5 @@ class SystemConfig:
             inversion_bound=self.inversion_bound,
             row_policy=self.row_policy,
             write_drain=self.write_drain,
+            engine=self.engine,
         )

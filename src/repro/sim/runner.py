@@ -18,7 +18,8 @@ for a higher-fidelity regeneration.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.shares import equal_shares
 from ..workloads.spec2000 import profile as lookup_profile
@@ -39,18 +40,44 @@ def default_warmup(cycles: int) -> int:
     return int(cycles * WARMUP_FRACTION)
 
 
-#: In-process memo: spec → result object (identity-stable per process).
-_memo: Dict[RunSpec, SimResult] = {}
+#: Upper bound on memoized results (override via REPRO_MEMO_CAP).  The
+#: default comfortably holds a full figure regeneration (hundreds of
+#: runs) while bounding long-lived processes that sweep thousands of
+#: configurations; eviction is least-recently-used.
+MEMO_CAP_ENV_VAR = "REPRO_MEMO_CAP"
+DEFAULT_MEMO_CAP = 4096
+
+
+def _memo_cap() -> int:
+    value = os.environ.get(MEMO_CAP_ENV_VAR, "").strip()
+    if not value:
+        return DEFAULT_MEMO_CAP
+    cap = int(value)
+    if cap <= 0:
+        raise ValueError(f"{MEMO_CAP_ENV_VAR} must be positive, got {cap}")
+    return cap
+
+
+#: In-process memo: spec → result object (identity-stable per process
+#: while resident; bounded LRU, see ``REPRO_MEMO_CAP``).
+_memo: "OrderedDict[RunSpec, SimResult]" = OrderedDict()
 
 
 def memo_get(spec: RunSpec) -> Optional[SimResult]:
     """The memoized result for ``spec``, if this process has one."""
-    return _memo.get(spec)
+    result = _memo.get(spec)
+    if result is not None:
+        _memo.move_to_end(spec)
+    return result
 
 
 def memo_put(spec: RunSpec, result: SimResult) -> None:
     """Install ``result`` as the canonical in-process result for ``spec``."""
     _memo[spec] = result
+    _memo.move_to_end(spec)
+    cap = _memo_cap()
+    while len(_memo) > cap:
+        _memo.popitem(last=False)
 
 
 def clear_solo_cache() -> None:
@@ -65,7 +92,7 @@ def clear_solo_cache() -> None:
 
 def _fetch(spec: RunSpec) -> SimResult:
     """Resolve ``spec`` through memo → disk cache → fresh simulation."""
-    result = _memo.get(spec)
+    result = memo_get(spec)
     if result is not None:
         return result
     disk = result_cache.active_cache()
@@ -77,7 +104,7 @@ def _fetch(spec: RunSpec) -> SimResult:
             disk.put(key, result)
     else:
         result = execute_spec(spec)
-    _memo[spec] = result
+    memo_put(spec, result)
     return result
 
 
@@ -89,14 +116,21 @@ def run_workload(
     shares: Optional[List[float]] = None,
     seed: int = 0,
     inversion_bound: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> SimResult:
-    """Co-schedule ``profiles`` (one per core) under ``policy`` (uncached)."""
+    """Co-schedule ``profiles`` (one per core) under ``policy`` (uncached).
+
+    ``engine`` overrides the simulation engine ("event" or "cycle");
+    None defers to ``REPRO_ENGINE`` / the event default.
+    """
+    kwargs = {} if engine is None else {"engine": engine}
     config = SystemConfig(
         num_cores=len(profiles),
         policy=policy,
         shares=shares,
         seed=seed,
         inversion_bound=inversion_bound,
+        **kwargs,
     )
     system = CmpSystem(config, profiles)
     if warmup is None:

@@ -2,10 +2,15 @@
 
 import pytest
 
+from repro.sim import runner
 from repro.sim.runner import (
+    DEFAULT_MEMO_CAP,
+    MEMO_CAP_ENV_VAR,
     clear_solo_cache,
     coscheduled_pair,
     default_warmup,
+    memo_get,
+    memo_put,
     run_group,
     run_solo,
     run_workload,
@@ -72,3 +77,44 @@ class TestCoscheduledPair:
 class TestWarmup:
     def test_default_warmup_fraction(self):
         assert default_warmup(1000) == 250
+
+
+class TestMemoLru:
+    def test_default_cap_is_generous(self):
+        assert DEFAULT_MEMO_CAP >= 1024
+
+    def test_eviction_drops_least_recently_used(self, monkeypatch):
+        monkeypatch.setenv(MEMO_CAP_ENV_VAR, "2")
+        a = run_solo(profile("gzip"), cycles=CYCLES)
+        b = run_solo(profile("gap"), cycles=CYCLES)
+        # Touch gzip so gap becomes the LRU entry, then insert a third.
+        assert run_solo(profile("gzip"), cycles=CYCLES) is a
+        c = run_solo(profile("vpr"), cycles=CYCLES)
+        assert len(runner._memo) == 2
+        assert run_solo(profile("gzip"), cycles=CYCLES) is a
+        assert run_solo(profile("vpr"), cycles=CYCLES) is c
+        # gap was evicted: a fresh run returns an equal but new object.
+        b2 = run_solo(profile("gap"), cycles=CYCLES)
+        assert b2 is not b
+        assert b2 == b
+
+    def test_memo_put_respects_cap(self, monkeypatch):
+        monkeypatch.setenv(MEMO_CAP_ENV_VAR, "1")
+        run_solo(profile("gzip"), cycles=CYCLES)
+        run_solo(profile("gap"), cycles=CYCLES)
+        assert len(runner._memo) == 1
+
+    def test_invalid_cap_rejected(self, monkeypatch):
+        monkeypatch.setenv(MEMO_CAP_ENV_VAR, "0")
+        with pytest.raises(ValueError):
+            memo_put(object(), object())
+
+    def test_memo_get_refreshes_recency(self, monkeypatch):
+        monkeypatch.setenv(MEMO_CAP_ENV_VAR, "2")
+        a = run_solo(profile("gzip"), cycles=CYCLES)
+        run_solo(profile("gap"), cycles=CYCLES)
+        spec = next(iter(runner._memo))  # gzip's spec (insertion order)
+        assert memo_get(spec) is a
+        run_solo(profile("vpr"), cycles=CYCLES)
+        # gzip survived the eviction because memo_get refreshed it.
+        assert memo_get(spec) is a

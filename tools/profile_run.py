@@ -47,6 +47,12 @@ def main(argv=None) -> int:
         choices=["cumulative", "tottime", "ncalls"],
         help="pstats sort key",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["cycle", "event"],
+        default=None,
+        help="simulation engine (default: REPRO_ENGINE or 'event')",
+    )
     args = parser.parse_args(argv)
 
     profiles = [lookup_profile(name) for name in args.benchmarks]
@@ -56,8 +62,13 @@ def main(argv=None) -> int:
     profiler = cProfile.Profile()
     start = time.perf_counter()
     profiler.enable()
-    run_workload(
-        profiles, args.policy, cycles=args.cycles, warmup=warmup, seed=args.seed
+    result = run_workload(
+        profiles,
+        args.policy,
+        cycles=args.cycles,
+        warmup=warmup,
+        seed=args.seed,
+        engine=args.engine,
     )
     profiler.disable()
     elapsed = time.perf_counter() - start
@@ -65,8 +76,21 @@ def main(argv=None) -> int:
     names = "+".join(args.benchmarks)
     print(
         f"{names} under {args.policy}: {simulated:,} cycles in "
-        f"{elapsed:.2f}s = {simulated / elapsed:,.0f} simulated cycles/sec\n"
+        f"{elapsed:.2f}s = {simulated / elapsed:,.0f} simulated cycles/sec"
     )
+    steps = result.extras.get("engine_steps")
+    if steps is not None:
+        skipped = result.extras["engine_cycles_skipped"]
+        ratio = result.extras["engine_skip_ratio"]
+        mean_skip = skipped / steps if steps else 0.0
+        print(
+            f"event engine: {int(steps):,} cycles stepped, "
+            f"{int(skipped):,} skipped ({ratio:.1%} skip ratio, "
+            f"mean skip {mean_skip:.1f} cycles per step)"
+        )
+    else:
+        print("cycle engine: every cycle stepped (differential oracle)")
+    print()
     stats = pstats.Stats(profiler)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
