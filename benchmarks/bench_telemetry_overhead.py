@@ -1,0 +1,131 @@
+"""Telemetry overhead: tracing must be free when off, cheap when on.
+
+Times the vpr+art pair under FQ-VFTF three ways:
+
+* ``baseline`` — tracing explicitly off (``trace=False``), the shape
+  every figure sweep and cached run takes;
+* ``default`` — tracing resolved from the environment with
+  ``REPRO_TRACE`` unset, i.e. the ``telemetry is None`` fast path that
+  guards every hook site;
+* ``traced`` — full lifecycle tracing + interval sampling attached.
+
+The CI tripwire asserts the *default* path stays within
+``DISABLED_SPEED_FLOOR`` of the explicit baseline: the observability
+layer's disabled cost is a handful of ``is None`` checks per cycle,
+so a miss here means a hook landed outside its guard.  The traced run
+has no speed floor (it does real work) but must produce a
+bit-identical ``SimResult`` and a Perfetto document that validates
+clean — the overhead budget is meaningless if tracing perturbs the
+run it observes.
+
+Rates land in ``BENCH_telemetry.json`` at the repository root.
+"""
+
+import dataclasses
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from conftest import once
+
+from repro.sim.runner import default_warmup, run_workload
+from repro.sim.system import comparable_result
+from repro.telemetry import TRACE_ENV_VAR
+from repro.telemetry.driver import run_traced
+from repro.telemetry.export import perfetto_trace, validate_trace
+from repro.workloads.spec2000 import profile as lookup_profile
+
+POLICY = "FQ-VFTF"
+WORKLOAD = ("vpr", "art")
+ROUNDS = 3
+
+#: The env-resolved disabled path must stay within this fraction of the
+#: explicit ``trace=False`` baseline.  Generous on purpose: a guard
+#: regression costs integer multiples, runner noise costs a few
+#: percent.
+DISABLED_SPEED_FLOOR = 0.9
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_telemetry.json"
+
+
+def _rate(cycles: int, trace):
+    """Best-of-N cyc/s for one tracing mode; returns (rate, last result)."""
+    profiles = [lookup_profile(name) for name in WORKLOAD]
+    warmup = default_warmup(cycles)
+    simulated = cycles + warmup
+    best = 0.0
+    result = None
+    for _ in range(ROUNDS):
+        start = perf_counter()
+        result = run_workload(
+            profiles, POLICY, cycles=cycles, warmup=warmup, trace=trace
+        )
+        elapsed = perf_counter() - start
+        best = max(best, simulated / elapsed)
+    return best, result
+
+
+def _measure_all(cycles: int):
+    assert not os.environ.get(TRACE_ENV_VAR), (
+        f"unset {TRACE_ENV_VAR} before benchmarking: the 'default' mode "
+        "must measure the env-resolved disabled path"
+    )
+    rates = {}
+    results = {}
+    for mode, trace in (("baseline", False), ("default", None), ("traced", True)):
+        rates[mode], results[mode] = _rate(cycles, trace)
+    return rates, results
+
+
+def test_telemetry_overhead(benchmark, cycles):
+    rates, results = once(benchmark, lambda: _measure_all(cycles))
+    print()
+    for mode, rate in rates.items():
+        relative = rate / rates["baseline"]
+        print(f"  {mode:9s} {rate:12,.0f} cyc/s  ({relative:.2f}x baseline)")
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "measurement_cycles": cycles,
+                "warmup_cycles": default_warmup(cycles),
+                "rounds": ROUNDS,
+                "python": platform.python_version(),
+                "workload": "+".join(WORKLOAD),
+                "policy": POLICY,
+                "cycles_per_second": {
+                    mode: round(rate, 1) for mode, rate in rates.items()
+                },
+                "traced_relative": round(rates["traced"] / rates["baseline"], 4),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Tripwire 1: the disabled path is genuinely zero-cost (guards only).
+    floor = DISABLED_SPEED_FLOOR * rates["baseline"]
+    assert rates["default"] >= floor, (
+        f"env-disabled tracing fell below {DISABLED_SPEED_FLOOR:.0%} of the "
+        f"explicit trace=False baseline: {rates['default']:,.0f} vs "
+        f"{rates['baseline']:,.0f} cyc/s — a telemetry hook is likely "
+        "running outside its `telemetry is None` guard"
+    )
+
+    # Tripwire 2: tracing observes without perturbing.
+    assert dataclasses.asdict(comparable_result(results["traced"])) == (
+        dataclasses.asdict(comparable_result(results["baseline"]))
+    ), "traced run diverged from the untraced baseline"
+
+    # Tripwire 3: the enabled run yields a valid Perfetto document.
+    run = run_traced(
+        [lookup_profile(name) for name in WORKLOAD],
+        POLICY,
+        cycles=cycles,
+        warmup=default_warmup(cycles),
+        with_targets=False,
+    )
+    problems = validate_trace(perfetto_trace(run.telemetry))
+    assert problems == [], "\n".join(problems)

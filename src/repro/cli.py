@@ -8,6 +8,8 @@ Examples::
     repro-fqms all
     repro-fqms check --cycles 40000   # protocol/invariant sanitizers
     repro-fqms figure1 --check        # any run, with checkers attached
+    repro-fqms trace --workload vpr,art --policy FQ-VFTF --out trace.json
+    repro-fqms report --workload vpr,art --policy FR-FCFS
 """
 
 from __future__ import annotations
@@ -100,6 +102,64 @@ def _run_ablations(cycles: int, seed: int) -> str:
     return "\n\n".join(f"{title}\n{body}" for title, body in sections)
 
 
+def _run_trace(args, export: bool) -> str:
+    """Run one telemetry-attached workload; render (and maybe export) it."""
+    from .telemetry.driver import resolve_profiles, run_traced
+    from .telemetry.export import (
+        perfetto_trace,
+        validate_trace,
+        write_intervals_csv,
+        write_intervals_jsonl,
+        write_trace,
+    )
+    from .telemetry.report import render_summary_table, render_trace_report
+
+    names = [n.strip() for n in args.workload.split(",") if n.strip()]
+    if not names:
+        raise SystemExit("--workload must name at least one benchmark")
+    try:
+        profiles = resolve_profiles(names)
+    except KeyError as exc:
+        raise SystemExit(f"repro-fqms: error: {exc.args[0]}") from exc
+    run = run_traced(
+        profiles,
+        args.policy,
+        cycles=args.cycles,
+        seed=args.seed,
+        engine=args.engine,
+        sample_period=args.period,
+    )
+    title = f"{'+'.join(names)} under {args.policy}"
+    lines = [
+        render_trace_report(
+            run.telemetry.samples(), run.thread_names, run.fair_shares, title=title
+        ),
+        "",
+        render_summary_table(run.telemetry.summary()),
+    ]
+    if export:
+        label = f"repro-fqms {title}"
+        trace = perfetto_trace(run.telemetry, run.fair_shares, label=label)
+        problems = validate_trace(trace)
+        if problems:
+            raise RuntimeError(f"generated an invalid trace: {problems[:3]}")
+        out = args.out or "trace.json"
+        write_trace(out, trace)
+        lines.append("")
+        lines.append(
+            f"wrote Perfetto trace to {out} "
+            "(load it at https://ui.perfetto.dev)"
+        )
+        if args.intervals:
+            n = len(run.thread_names)
+            if args.intervals.endswith(".jsonl"):
+                write_intervals_jsonl(args.intervals, run.telemetry.samples(), n)
+            else:
+                write_intervals_csv(args.intervals, run.telemetry.samples(), n)
+            lines.append(f"wrote interval metrics to {args.intervals}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: regenerate figures/ablations; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -108,9 +168,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=FIGURES + ("ablations", "all", "check"),
+        choices=FIGURES + ("ablations", "all", "check", "trace", "report"),
         help="which evaluation artifact to regenerate ('check' runs the "
-        "protocol/invariant sanitizers differentially)",
+        "protocol/invariant sanitizers differentially; 'trace' runs one "
+        "workload with telemetry and exports a Perfetto trace; 'report' "
+        "prints the interval-metrics dashboard)",
     )
     parser.add_argument(
         "--cycles",
@@ -158,6 +220,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         "default) or 'cycle' (step every cycle; the differential "
         "oracle); equivalent to REPRO_ENGINE",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach the repro.telemetry observers (request-lifecycle "
+        "tracer + interval sampler) to every freshly simulated run; "
+        "equivalent to REPRO_TRACE=1 (results are unchanged; batch "
+        "runs served from the result cache are not re-traced)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="vpr,art",
+        help="comma-separated benchmark names for 'trace'/'report' "
+        "(default vpr,art)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="FQ-VFTF",
+        help="scheduling policy for 'trace'/'report' (default FQ-VFTF)",
+    )
+    parser.add_argument(
+        "--period",
+        type=int,
+        default=None,
+        help="interval-sampler period in cycles for 'trace'/'report' "
+        "(default 1000; REPRO_TRACE_PERIOD also honoured)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="Perfetto trace output path for 'trace' (default trace.json)",
+    )
+    parser.add_argument(
+        "--intervals",
+        metavar="PATH",
+        default=None,
+        help="also dump interval metrics for 'trace' (.csv or .jsonl by "
+        "extension; the format tools/trace_compare.py diffs)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs <= 0:
         parser.error("--jobs must be positive")
@@ -172,6 +273,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # their configs from REPRO_ENGINE.  The fingerprint includes the
         # engine, so cached results never cross engines.
         os.environ["REPRO_ENGINE"] = args.engine
+    if args.trace:
+        # Same environment plumbing again; tracing never changes
+        # results, so it is deliberately NOT in cache fingerprints.
+        os.environ["REPRO_TRACE"] = "1"
     configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
 
     targets = FIGURES + ("ablations",) if args.experiment == "all" else (args.experiment,)
@@ -184,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .check.harness import differential_report
 
             body = differential_report(args.cycles, args.seed)
+        elif target in ("trace", "report"):
+            body = _run_trace(args, export=target == "trace")
         else:
             result = _run_figure(target, args.cycles, args.seed, jobs=args.jobs)
             body = result.render()

@@ -38,6 +38,9 @@ class ChannelScheduler:
         #: invalidated, or the bank is in committed FQ mode where no
         #: bound may be cached).
         self._bounds: List[Optional[int]] = [None] * len(self.bank_schedulers)
+        #: Optional run telemetry (repro.telemetry); None in normal
+        #: runs, so arbitration accounting costs one attribute test.
+        self.telemetry = None
 
     def invalidate(self, rank: int, bank: int) -> None:
         """Drop the cached bound for one bank (its state changed)."""
@@ -56,6 +59,8 @@ class ChannelScheduler:
         best: Optional[CandidateCommand] = None
         best_sort = None
         bounds = self._bounds
+        telemetry = self.telemetry
+        ready_seen = 0
         for i, scheduler in enumerate(self.bank_schedulers):
             bound = bounds[i]
             if bound is not None and bound > now:
@@ -64,9 +69,16 @@ class ChannelScheduler:
             if cand is None or not cand.ready:
                 bounds[i] = scheduler.cacheable_wake(now)
                 continue
+            if telemetry is not None:
+                # Exact ready count: skipped banks can only have held
+                # non-ready candidates (see the skip-soundness note in
+                # the module docstring).
+                ready_seen += 1
             sort = (not cand.kind.is_cas, cand.key)
             if best_sort is None or sort < best_sort:
                 best, best_sort = cand, sort
+        if telemetry is not None and best is not None:
+            telemetry.on_arbitration(now, ready_seen)
         return best
 
     def min_wake(self, now: int) -> Optional[int]:

@@ -166,6 +166,8 @@ class MemoryController:
         #: Optional runtime checker (repro.check); None in normal runs,
         #: so the per-event hooks below cost one attribute test each.
         self.checker: Optional["RunChecker"] = None
+        #: Optional run telemetry (repro.telemetry), same pattern.
+        self.telemetry = None
         self.now = 0
 
     # -- request entry ---------------------------------------------------
@@ -206,6 +208,8 @@ class MemoryController:
         self._sleep_until = 0
         if self.checker is not None:
             self.checker.on_accept(request, self.now)
+        if self.telemetry is not None:
+            self.telemetry.on_accept(request, self.now)
         return True
 
     def _refresh_oldest_arrival(self, thread_id: int) -> None:
@@ -354,6 +358,8 @@ class MemoryController:
             self.buffers.release(request)
             if self.checker is not None:
                 self.checker.on_complete(request, now)
+            if self.telemetry is not None:
+                self.telemetry.on_complete(request, now)
             if request.is_read:
                 if not request.prefetch:
                     latency = request.latency()

@@ -117,7 +117,15 @@ def result_to_json(result: SimResult) -> Dict[str, Any]:
 
 
 def result_from_json(payload: Dict[str, Any]) -> SimResult:
-    """Rebuild a :class:`SimResult` stored by :func:`result_to_json`."""
+    """Rebuild a :class:`SimResult` stored by :func:`result_to_json`.
+
+    ``extras`` is a *required* payload key: the engine counters ride in
+    it, and silently defaulting them away would make cache hits
+    distinguishable from fresh runs.  A payload without it (hand-edited
+    or written by a pre-``extras`` schema) raises ``KeyError``, which
+    :meth:`ResultCache.get` treats as a miss — the run is simply
+    re-simulated and re-stored.
+    """
     return SimResult(
         policy=payload["policy"],
         cycles=payload["cycles"],
@@ -125,7 +133,7 @@ def result_from_json(payload: Dict[str, Any]) -> SimResult:
         data_bus_utilization=payload["data_bus_utilization"],
         bank_utilization=payload["bank_utilization"],
         refreshes=payload.get("refreshes", 0),
-        extras=dict(payload.get("extras", {})),
+        extras=dict(payload["extras"]),
     )
 
 

@@ -96,7 +96,11 @@ def group_spec(
 def execute_spec(spec: RunSpec) -> SimResult:
     """Simulate ``spec`` from scratch (no cache layers consulted)."""
     config, profiles = spec.build()
-    system = CmpSystem(config, profiles)
+    # Tracing is forced off for batch/cached runs: telemetry never
+    # changes results (so cached results stay valid either way), but
+    # its buffers are per-run artifacts that the result cache cannot
+    # round-trip — traced runs go through the dedicated driver.
+    system = CmpSystem(config, profiles, trace=False)
     return system.run(spec.cycles, warmup=spec.warmup)
 
 

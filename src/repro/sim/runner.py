@@ -117,11 +117,15 @@ def run_workload(
     seed: int = 0,
     inversion_bound: Optional[int] = None,
     engine: Optional[str] = None,
+    trace: Optional[bool] = None,
 ) -> SimResult:
     """Co-schedule ``profiles`` (one per core) under ``policy`` (uncached).
 
     ``engine`` overrides the simulation engine ("event" or "cycle");
-    None defers to ``REPRO_ENGINE`` / the event default.
+    None defers to ``REPRO_ENGINE`` / the event default.  ``trace``
+    attaches :mod:`repro.telemetry` observers (None defers to
+    ``REPRO_TRACE``); use :func:`repro.telemetry.driver.run_traced`
+    when you need the telemetry object back, not just the result.
     """
     kwargs = {} if engine is None else {"engine": engine}
     config = SystemConfig(
@@ -132,7 +136,7 @@ def run_workload(
         inversion_bound=inversion_bound,
         **kwargs,
     )
-    system = CmpSystem(config, profiles)
+    system = CmpSystem(config, profiles, trace=trace)
     if warmup is None:
         warmup = default_warmup(cycles)
     return system.run(cycles, warmup=warmup)

@@ -25,6 +25,7 @@ from ..core.policies import Policy, fq_vftf_with_bound, get_policy
 from ..cpu.core_model import OooCore
 from ..cpu.hierarchy import CacheHierarchy
 from ..dram.dram_system import DramSystem
+from ..telemetry import RunTelemetry, trace_enabled
 from .config import SystemConfig
 
 
@@ -77,6 +78,7 @@ class CmpSystem:
         config: SystemConfig,
         profiles: Sequence,
         check: Optional[bool] = None,
+        trace: Optional[bool] = None,
     ):
         """Build a system running one workload per core.
 
@@ -92,6 +94,11 @@ class CmpSystem:
         variable so checked runs survive the parallel engine's process
         pool.  Checking never changes results — only whether violations
         raise.
+
+        ``trace`` attaches the :mod:`repro.telemetry` observers
+        (request-lifecycle tracer + interval sampler) the same way;
+        ``None`` defers to ``REPRO_TRACE``.  Tracing never changes
+        results either — hooks are pure readers.
         """
         if len(profiles) != config.num_cores:
             raise ValueError(
@@ -202,6 +209,22 @@ class CmpSystem:
                 submit=self._make_submit(core_id),
             )
             self.cores.append(core)
+        if trace is None:
+            trace = trace_enabled()
+        #: Optional observability layer (repro.telemetry); one shared
+        #: instance fanned out to every hook site, or None (the normal
+        #: case — each site then pays one attribute test per event).
+        self.telemetry: Optional[RunTelemetry] = None
+        if trace:
+            telemetry = RunTelemetry(self)
+            self.telemetry = telemetry
+            for controller in self.controllers:
+                controller.telemetry = telemetry
+                controller.channel_scheduler.telemetry = telemetry
+                for scheduler in controller.bank_schedulers:
+                    scheduler.telemetry = telemetry
+            for core in self.cores:
+                core.telemetry = telemetry
 
     @staticmethod
     def _resolve_policy(config: SystemConfig) -> Policy:
@@ -328,6 +351,13 @@ class CmpSystem:
     def step(self) -> None:
         """Advance the whole system by one cycle."""
         now = self.now
+        if self.telemetry is not None:
+            # Sample at the top of the cycle, before any component
+            # moves: both engines step every sample boundary (the event
+            # engine clamps its skip targets to ``next_sample``), so on
+            # or off, per-cycle or event-driven, the sampler observes
+            # the exact same top-of-boundary state.
+            self.telemetry.maybe_sample(now)
         self._deliver_to_controller(now)
         for controller in self.controllers:
             for request in controller.tick(now):
@@ -392,6 +422,14 @@ class CmpSystem:
         """Earliest cycle in ``[now, limit]`` that must be stepped."""
         now = self.now
         target = limit
+        if self.telemetry is not None:
+            # Sampling deadlines are events: never skip across one, so
+            # the boundary cycle is stepped and sampled at its top.
+            deadline = self.telemetry.next_sample
+            if deadline <= now:
+                return now
+            if deadline < target:
+                target = deadline
         if self._to_controller:
             head = self._to_controller[0][0]
             if head <= now:
@@ -526,6 +564,8 @@ class CmpSystem:
         after = self._snapshot()
         for checker in self.checkers:
             checker.finalize(self.now)
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.now)
         return self._result(before, after)
 
     def check_summary(self) -> Dict[str, int]:

@@ -9,7 +9,7 @@ from .metrics import (
     variance,
 )
 from .qos import QosReport, QosVerdict, qos_report
-from .report import render_kv, render_table
+from .report import render_kv, render_table, sparkline
 
 __all__ = [
     "fair_share_targets",
@@ -22,5 +22,6 @@ __all__ = [
     "qos_report",
     "render_kv",
     "render_table",
+    "sparkline",
     "variance",
 ]

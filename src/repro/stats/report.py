@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -31,6 +31,48 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     for row in formatted:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+#: Eighth-block ramp used by :func:`sparkline`.
+SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    width: Optional[int] = None,
+) -> str:
+    """Render a numeric series as a unicode block sparkline.
+
+    ``lo``/``hi`` pin the scale (defaults to the series min/max);
+    ``width`` downsamples long series by averaging equal chunks.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if width is not None and width > 0 and len(series) > width:
+        chunked = []
+        for i in range(width):
+            start = i * len(series) // width
+            end = max(start + 1, (i + 1) * len(series) // width)
+            chunk = series[start:end]
+            chunked.append(sum(chunk) / len(chunk))
+        series = chunked
+    floor = min(series) if lo is None else lo
+    ceil = max(series) if hi is None else hi
+    span = ceil - floor
+    top = len(SPARK_BLOCKS) - 1
+    out = []
+    for value in series:
+        if span <= 0:
+            # Flat series: blank when it sits at zero, mid-block otherwise.
+            level = 0 if value == 0 else top // 2
+        else:
+            frac = (value - floor) / span
+            level = int(round(min(max(frac, 0.0), 1.0) * top))
+        out.append(SPARK_BLOCKS[level])
+    return "".join(out)
 
 
 def render_kv(title: str, pairs: Sequence[Sequence[object]]) -> str:

@@ -1,0 +1,282 @@
+"""Exporters: Perfetto ``trace_event`` JSON and CSV/JSONL interval dumps.
+
+The Perfetto export follows the Chrome trace-event format (the legacy
+JSON flavour, which Perfetto's UI at https://ui.perfetto.dev loads
+directly): a ``traceEvents`` array of ``"M"`` metadata records naming
+processes/threads, ``"X"`` complete slices with microsecond-like
+``ts``/``dur`` fields (we emit simulated *cycles* — the unit is
+declared via ``displayTimeUnit`` and the trace's ``otherData``), and
+``"C"`` counter events for the interval time series.
+
+Track layout:
+
+* pid 0 ("threads") — one track per simulated thread carrying its
+  request-lifecycle slices (name = ``read@bank`` etc., args = every
+  recorded milestone) plus per-thread counter tracks for bus share vs.
+  fair-share target and VFT lag.
+* pid 1 ("banks") — one track per (channel, rank, bank) carrying the
+  issued-command slices (ACTIVATE/READ/WRITE/PRECHARGE) with their
+  DDR2 occupancy as the duration.
+
+All timestamps are simulated cycles; this module must not consult
+wall-clock time (DET006).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Sequence, Union
+
+from .lifecycle import RequestLifecycle
+from .sampler import INTERVAL_COLUMNS, IntervalSample
+
+PathLike = Union[str, Path]
+
+#: pid values for the two Perfetto track groups.
+THREAD_PID = 0
+BANK_PID = 1
+
+
+def _metadata(pid: int, tid: int, name: str, kind: str) -> Dict:
+    return {
+        "name": kind,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _lifecycle_slice(record: RequestLifecycle) -> Optional[Dict]:
+    """One ``"X"`` complete slice for a closed lifecycle."""
+    start = record.submit_cycle
+    latency = record.latency()
+    if start is None or latency is None:
+        return None
+    outcome = record.row_outcome or "untouched"
+    args: Dict[str, object] = {
+        "seq": record.seq,
+        "kind": record.kind,
+        "address": f"0x{record.address:x}",
+        "channel": record.channel,
+        "rank": record.rank,
+        "bank": record.bank,
+        "row": record.row,
+        "row_outcome": outcome,
+        "inverted": record.inverted,
+        "submit_cycle": record.submit_cycle,
+        "accept_cycle": record.accept_cycle,
+        "first_command_cycle": record.first_command_cycle,
+        "first_command": record.first_command,
+        "cas_cycle": record.cas_cycle,
+        "complete_cycle": record.complete_cycle,
+        "fill_cycle": record.fill_cycle,
+        "virtual_arrival": record.virtual_arrival,
+        "virtual_start": record.virtual_start,
+        "virtual_finish": record.virtual_finish,
+    }
+    if record.priority_key:
+        args["priority_key"] = [repr(part) for part in record.priority_key]
+    name = f"{record.kind}@b{record.bank} {outcome}"
+    if record.inverted:
+        name += " !inv"
+    return {
+        "name": name,
+        "cat": "request",
+        "ph": "X",
+        "ts": start,
+        "dur": max(latency, 1),
+        "pid": THREAD_PID,
+        "tid": record.thread,
+        "args": args,
+    }
+
+
+def perfetto_trace(
+    telemetry,
+    fair_shares: Optional[Sequence[float]] = None,
+    label: str = "repro-fqms",
+) -> Dict:
+    """Build a Chrome/Perfetto ``trace_event`` document.
+
+    ``fair_shares`` (per-thread fair-share bandwidth targets, as
+    fractions of peak) adds a target series next to each thread's
+    measured bus-share counter so convergence is visible directly in
+    the UI.
+    """
+    events: List[Dict] = []
+    names = telemetry.thread_names()
+    num_threads = len(names)
+    events.append(_metadata(THREAD_PID, 0, "threads", "process_name"))
+    for t in range(num_threads):
+        events.append(
+            _metadata(THREAD_PID, t, f"T{t} {names[t]}", "thread_name")
+        )
+    for t in range(num_threads):
+        for record in telemetry.lifecycles(t):
+            slice_event = _lifecycle_slice(record)
+            if slice_event is not None:
+                events.append(slice_event)
+    for sample in telemetry.samples():
+        for t in range(num_threads):
+            counters = {
+                "bus_share": sample.bus_utilization[t],
+                "queue": sample.queue_occupancy[t],
+                "vft_lag": sample.vft_lag[t],
+            }
+            if fair_shares is not None:
+                counters["fair_share_target"] = fair_shares[t]
+            for counter, value in counters.items():
+                events.append(
+                    {
+                        "name": f"T{t} {counter}",
+                        "cat": "interval",
+                        "ph": "C",
+                        "ts": sample.cycle,
+                        "pid": THREAD_PID,
+                        "tid": t,
+                        "args": {counter: value},
+                    }
+                )
+    bank_log = telemetry.bank_log
+    banks = bank_log.banks()
+    if banks:
+        events.append(_metadata(BANK_PID, 0, "banks", "process_name"))
+        for tid, (channel, rank, bank) in enumerate(banks):
+            events.append(
+                _metadata(
+                    BANK_PID, tid, f"ch{channel} r{rank} b{bank}", "thread_name"
+                )
+            )
+            for cycle, kind_name, row, thread, duration in bank_log.events(
+                channel, rank, bank
+            ):
+                owner = f"T{thread}" if thread is not None else "auto"
+                events.append(
+                    {
+                        "name": f"{kind_name} row {row} ({owner})",
+                        "cat": "dram",
+                        "ph": "X",
+                        "ts": cycle,
+                        "dur": max(duration, 1),
+                        "pid": BANK_PID,
+                        "tid": tid,
+                        "args": {"row": row, "thread": thread},
+                    }
+                )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": label,
+            "time_unit": "dram_cycles",
+            "threads": list(names),
+            "truncation": telemetry.summary(),
+        },
+    }
+
+
+def write_trace(path: PathLike, trace: Dict) -> None:
+    Path(path).write_text(json.dumps(trace, indent=None, sort_keys=False))
+
+
+def validate_trace(trace: Dict) -> List[str]:
+    """Schema-check a trace document; returns human-readable problems.
+
+    Covers the invariants Perfetto's JSON importer relies on: the
+    ``traceEvents`` list, required keys per phase type, numeric
+    non-negative timestamps, and ``"X"`` durations.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("M", "X", "C"):
+            problems.append(f"{where}: unsupported ph {phase!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key}")
+        if phase == "M":
+            if event.get("name") not in ("process_name", "thread_name"):
+                problems.append(f"{where}: bad metadata name")
+            if "name" not in event.get("args", {}):
+                problems.append(f"{where}: metadata missing args.name")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur <= 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if phase == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: counter missing args")
+    return problems
+
+
+# -- interval dumps --------------------------------------------------------
+
+
+def _interval_rows(samples: Sequence[IntervalSample], num_threads: int):
+    for sample in samples:
+        for t in range(num_threads):
+            yield sample.row(t)
+
+
+def write_intervals_csv(
+    path: PathLike, samples: Sequence[IntervalSample], num_threads: int
+) -> None:
+    """Long-format CSV: one row per (interval, thread)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=INTERVAL_COLUMNS)
+        writer.writeheader()
+        for row in _interval_rows(samples, num_threads):
+            writer.writerow(row)
+
+
+def write_intervals_jsonl(
+    path: PathLike, samples: Sequence[IntervalSample], num_threads: int
+) -> None:
+    """JSON-lines dump with the same rows as the CSV."""
+    with open(path, "w") as handle:
+        for row in _interval_rows(samples, num_threads):
+            handle.write(json.dumps(row) + "\n")
+
+
+def _load_csv(handle: IO[str]) -> List[Dict[str, float]]:
+    rows = []
+    for raw in csv.DictReader(handle):
+        rows.append({key: float(value) for key, value in raw.items()})
+    return rows
+
+
+def _load_jsonl(handle: IO[str]) -> List[Dict[str, float]]:
+    rows = []
+    for line in handle:
+        line = line.strip()
+        if line:
+            rows.append({key: float(value) for key, value in json.loads(line).items()})
+    return rows
+
+
+def load_intervals(path: PathLike) -> List[Dict[str, float]]:
+    """Read an interval dump (CSV or JSONL, sniffed by first byte).
+
+    Returns one flat numeric dict per (interval, thread) row, in file
+    order — the common shape ``tools/trace_compare.py`` diffs.
+    """
+    with open(path) as handle:
+        first = handle.read(1)
+        handle.seek(0)
+        if first == "{":
+            return _load_jsonl(handle)
+        return _load_csv(handle)

@@ -1,0 +1,255 @@
+"""Request-lifecycle tracing: per-thread ring buffers of milestones.
+
+Every memory request passes through a fixed sequence of stations —
+core submit, interface-queue accept, VTMS stamp, RAS/CAS issue, data
+return, core retire-unblock — and the tracer records the cycle each
+station was reached, plus the per-event attributes the fair-queuing
+analysis needs (bank, row, row-buffer outcome, priority key, the
+priority-inversion flag).
+
+Records are plain value objects: the tracer copies fields out of the
+live :class:`~repro.controller.request.MemoryRequest` instead of
+holding references, so tracing never extends simulator object
+lifetimes.  Completed lifecycles land in bounded per-thread ring
+buffers (``deque(maxlen=...)``); overflow evicts the oldest record and
+is counted per thread so exports can report truncation honestly.
+
+Timestamps are simulated cycles throughout — never host time (enforced
+by the DET006 determinism-lint rule).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Default per-thread ring capacity (completed lifecycles retained).
+DEFAULT_RING_CAPACITY = 4096
+
+
+@dataclass
+class RequestLifecycle:
+    """Milestone timestamps and attributes of one memory request.
+
+    All ``*_cycle`` fields are simulated cycles (``None`` until the
+    station is reached); virtual times are FQ virtual-clock units.
+    """
+
+    seq: int
+    thread: int
+    kind: str  #: "read", "write", or "prefetch"
+    address: int
+    line: Optional[int] = None
+    submit_cycle: Optional[int] = None
+    accept_cycle: Optional[int] = None
+    channel: int = 0
+    rank: int = 0
+    bank: int = 0
+    row: int = 0
+    #: Cycle of the first SDRAM command serving this request, and its
+    #: name ("ACTIVATE" / "PRECHARGE" / "READ" / "WRITE").
+    first_command_cycle: Optional[int] = None
+    first_command: Optional[str] = None
+    #: Row-buffer outcome, decided by the first command: "hit" (CAS
+    #: straight away), "closed" (activate first), "conflict"
+    #: (precharge first).
+    row_outcome: Optional[str] = None
+    cas_cycle: Optional[int] = None
+    #: VTMS stamp at CAS issue (paper Eq. 3 / Eq. 7 estimates).
+    virtual_arrival: float = 0.0
+    virtual_start: float = 0.0
+    virtual_finish: float = 0.0
+    #: Policy ordering key of the request when its CAS issued.
+    priority_key: Tuple = ()
+    #: True when any command served this request while a strictly
+    #: higher-priority request was pending in the same bank queue
+    #: (priority inversion, paper §3.3).
+    inverted: bool = False
+    complete_cycle: Optional[int] = None
+    fill_cycle: Optional[int] = None
+
+    @property
+    def closed(self) -> bool:
+        """True once the lifecycle reached its terminal station."""
+        if self.kind == "write":
+            return self.complete_cycle is not None
+        return self.fill_cycle is not None
+
+    def latency(self) -> Optional[int]:
+        """Submit-to-terminal latency in cycles, if closed."""
+        end = self.complete_cycle if self.kind == "write" else self.fill_cycle
+        if end is None or self.submit_cycle is None:
+            return None
+        return end - self.submit_cycle
+
+
+class LifecycleTracer:
+    """Open-lifecycle index plus per-thread completed-record rings."""
+
+    def __init__(self, num_threads: int, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.num_threads = num_threads
+        self.capacity = capacity
+        #: Completed lifecycles, newest last, oldest evicted first.
+        self.completed: List[Deque[RequestLifecycle]] = [
+            deque(maxlen=capacity) for _ in range(num_threads)
+        ]
+        #: Evicted-record count per thread (ring overflow accounting).
+        self.dropped: List[int] = [0] * num_threads
+        #: Lifecycles between submit and terminal station, by seq.
+        self._open: Dict[int, RequestLifecycle] = {}
+        #: (thread, line) → seq for outstanding reads, so the core-side
+        #: fill hook (which sees only the line) can find its record.
+        self._read_lines: Dict[Tuple[int, int], int] = {}
+
+    # -- hook entry points -------------------------------------------------
+
+    def on_submit(self, request, line: int, now: int) -> None:
+        """A core's submit was accepted by the system interconnect."""
+        if request.is_write:
+            kind = "write"
+        elif request.prefetch:
+            kind = "prefetch"
+        else:
+            kind = "read"
+        record = RequestLifecycle(
+            seq=request.seq,
+            thread=request.thread_id,
+            kind=kind,
+            address=request.address,
+            line=line,
+            submit_cycle=now,
+        )
+        self._open[request.seq] = record
+        if not request.is_write:
+            self._read_lines[(request.thread_id, line)] = request.seq
+
+    def on_accept(self, request, now: int) -> None:
+        """The controller admitted the request into its buffers."""
+        record = self._open.get(request.seq)
+        if record is None:
+            return
+        record.accept_cycle = now
+        record.channel = request.channel
+        record.rank = request.rank
+        record.bank = request.bank
+        record.row = request.row
+        record.virtual_arrival = request.virtual_arrival
+
+    def on_command(
+        self, request, kind_name: str, is_cas: bool, inverted: bool, now: int
+    ) -> None:
+        """An SDRAM command serving ``request`` issued."""
+        record = self._open.get(request.seq)
+        if record is None:
+            return
+        if record.first_command_cycle is None:
+            record.first_command_cycle = now
+            record.first_command = kind_name
+            if is_cas:
+                record.row_outcome = "hit"
+            elif kind_name == "ACTIVATE":
+                record.row_outcome = "closed"
+            else:
+                record.row_outcome = "conflict"
+        if inverted:
+            record.inverted = True
+        if is_cas:
+            record.cas_cycle = now
+            record.virtual_start = request.virtual_start_time
+            record.virtual_finish = request.virtual_finish_time
+
+    def on_command_key(self, request, key: Tuple) -> None:
+        """Record the priority key the CAS issued under."""
+        record = self._open.get(request.seq)
+        if record is not None:
+            record.priority_key = key
+
+    def on_complete(self, request, now: int) -> None:
+        """The request's last data beat transferred on the bus."""
+        record = self._open.get(request.seq)
+        if record is None:
+            return
+        record.complete_cycle = now
+        if record.kind == "write":
+            self._close(record)
+
+    def on_fill(self, thread: int, line: int, now: int) -> None:
+        """A read's fill reached its core (retire-unblock)."""
+        seq = self._read_lines.pop((thread, line), None)
+        if seq is None:
+            return
+        record = self._open.get(seq)
+        if record is None:
+            return
+        record.fill_cycle = now
+        self._close(record)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _close(self, record: RequestLifecycle) -> None:
+        del self._open[record.seq]
+        ring = self.completed[record.thread]
+        if len(ring) == ring.maxlen:
+            self.dropped[record.thread] += 1
+        ring.append(record)
+
+    @property
+    def open_count(self) -> int:
+        """Lifecycles still between submit and their terminal station."""
+        return len(self._open)
+
+    def summary(self) -> Dict[str, int]:
+        """Retention counters (completed, retained, dropped, open)."""
+        retained = sum(len(ring) for ring in self.completed)
+        dropped = sum(self.dropped)
+        return {
+            "lifecycles_completed": retained + dropped,
+            "lifecycles_retained": retained,
+            "lifecycles_dropped": dropped,
+            "lifecycles_open": len(self._open),
+        }
+
+
+#: A bounded per-bank ring of issued commands, for the Perfetto bank
+#: tracks: (cycle, kind name, row, thread-or-None, duration).
+BankEvent = Tuple[int, str, int, Optional[int], int]
+
+
+class BankCommandLog:
+    """Ring-buffered command history per (channel, rank, bank)."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rings: Dict[Tuple[int, int, int], Deque[BankEvent]] = {}
+        self.dropped = 0
+
+    def record(
+        self,
+        channel: int,
+        rank: int,
+        bank: int,
+        cycle: int,
+        kind_name: str,
+        row: int,
+        thread: Optional[int],
+        duration: int,
+    ) -> None:
+        ring = self._rings.get((channel, rank, bank))
+        if ring is None:
+            ring = deque(maxlen=self.capacity)
+            self._rings[(channel, rank, bank)] = ring
+        if len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append((cycle, kind_name, row, thread, duration))
+
+    def banks(self) -> List[Tuple[int, int, int]]:
+        """Recorded (channel, rank, bank) coordinates, sorted."""
+        return sorted(self._rings)
+
+    def events(self, channel: int, rank: int, bank: int) -> List[BankEvent]:
+        return list(self._rings.get((channel, rank, bank), ()))

@@ -1,0 +1,154 @@
+"""Textual dashboard over interval samples: sparklines + convergence.
+
+``repro-fqms report`` renders one block per thread — bus share vs.
+fair-share target, queue occupancy, row-hit rate, VFT lag — as
+sparkline rows, then a convergence verdict: the first sample boundary
+("epoch") after which the thread's bus share stays within a tolerance
+band of its fair-share target for the rest of the run.  That is the
+observable form of the paper's §4.2 claim that FQ drives each thread's
+bandwidth to its service quantum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..stats.report import render_kv, render_table, sparkline
+from .sampler import IntervalSample
+
+#: Relative band around the fair-share target that counts as converged.
+DEFAULT_TOLERANCE = 0.25
+#: Sparkline width for dashboard rows.
+SPARK_WIDTH = 48
+
+
+def convergence_epoch(
+    samples: Sequence[IntervalSample],
+    thread: int,
+    target: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Optional[int]:
+    """First sample cycle after which bus share stays within the band.
+
+    A sample is in-band when ``|share - target| <= tolerance * target``.
+    Returns the ``cycle`` of the first sample opening a suffix that is
+    entirely in-band, or ``None`` if the thread never settles (or the
+    target is zero).
+    """
+    if target <= 0 or not samples:
+        return None
+    band = tolerance * target
+    epoch: Optional[int] = None
+    for sample in samples:
+        if abs(sample.bus_utilization[thread] - target) <= band:
+            if epoch is None:
+                epoch = sample.cycle
+        else:
+            epoch = None
+    return epoch
+
+
+def _series(samples: Sequence[IntervalSample], thread: int, attr: str) -> List[float]:
+    return [float(getattr(s, attr)[thread]) for s in samples]
+
+
+def render_trace_report(
+    samples: Sequence[IntervalSample],
+    thread_names: Sequence[str],
+    fair_shares: Optional[Sequence[float]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    title: str = "telemetry report",
+) -> str:
+    """Render the full dashboard as one printable string."""
+    lines: List[str] = [title, "=" * len(title)]
+    if not samples:
+        lines.append("(no interval samples recorded)")
+        return "\n".join(lines)
+    first, last = samples[0], samples[-1]
+    lines.append(
+        f"{len(samples)} intervals, cycles {first.cycle - first.span}"
+        f"..{last.cycle}, period {first.span}"
+    )
+    lines.append("")
+    num_threads = len(thread_names)
+    util_ceiling = max(
+        (max(_series(samples, t, "bus_utilization")) for t in range(num_threads)),
+        default=0.0,
+    )
+    if fair_shares is not None:
+        util_ceiling = max(util_ceiling, max(fair_shares, default=0.0))
+    for t, name in enumerate(thread_names):
+        header = f"T{t} {name}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        util = _series(samples, t, "bus_utilization")
+        rows = [
+            (
+                "bus share",
+                sparkline(util, lo=0.0, hi=util_ceiling or 1.0, width=SPARK_WIDTH),
+                f"last {util[-1]:.3f}",
+            ),
+            (
+                "queue occupancy",
+                sparkline(
+                    _series(samples, t, "queue_occupancy"), lo=0.0, width=SPARK_WIDTH
+                ),
+                f"last {samples[-1].queue_occupancy[t]}",
+            ),
+            (
+                "row-hit rate",
+                sparkline(
+                    _series(samples, t, "row_hit_rate"),
+                    lo=0.0,
+                    hi=1.0,
+                    width=SPARK_WIDTH,
+                ),
+                f"last {samples[-1].row_hit_rate[t]:.3f}",
+            ),
+            (
+                "VFT lag",
+                sparkline(_series(samples, t, "vft_lag"), width=SPARK_WIDTH),
+                f"last {samples[-1].vft_lag[t]:.1f}",
+            ),
+            (
+                "inversions",
+                sparkline(
+                    _series(samples, t, "inversions"), lo=0.0, width=SPARK_WIDTH
+                ),
+                f"total {sum(s.inversions[t] for s in samples)}",
+            ),
+        ]
+        width = max(len(r[0]) for r in rows)
+        for label, spark, note in rows:
+            lines.append(f"  {label.ljust(width)}  |{spark}|  {note}")
+        if fair_shares is not None:
+            target = fair_shares[t]
+            epoch = convergence_epoch(samples, t, target, tolerance)
+            if epoch is None:
+                verdict = f"not converged to target {target:.3f} (±{tolerance:.0%})"
+            else:
+                verdict = (
+                    f"converged to target {target:.3f} (±{tolerance:.0%}) "
+                    f"at cycle {epoch}"
+                )
+            lines.append(f"  {'convergence'.ljust(width)}  {verdict}")
+        lines.append("")
+    total_inv = sum(sum(s.inversions) for s in samples)
+    total_contended = sum(s.contended_arbitrations for s in samples)
+    lines.append(
+        render_kv(
+            "totals",
+            [
+                ("priority inversions", total_inv),
+                ("contended arbitrations", total_contended),
+            ],
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_summary_table(summary: dict) -> str:
+    """Render a telemetry summary dict as a two-column table."""
+    return render_table(
+        ("counter", "value"), [(key, summary[key]) for key in sorted(summary)]
+    )

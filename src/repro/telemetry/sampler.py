@@ -1,0 +1,249 @@
+"""Interval metrics sampler: fixed-period time series of run dynamics.
+
+The sampler snapshots monotonic simulator counters at every multiple
+of ``period`` cycles and emits one :class:`IntervalSample` per
+boundary with the per-thread *deltas* over the interval: data-bus
+utilization, completed reads and their mean latency, NACKs, row-buffer
+outcome counts, priority inversions — plus two instantaneous gauges,
+queue occupancy and VFT lag (per-thread channel virtual-finish
+register minus the FQ virtual clock; how far ahead of its fair share
+the thread has consumed service).
+
+Engine interaction: the sampler's next deadline participates in
+:meth:`CmpSystem._event_target`, so the event engine's bulk skips
+never jump across a boundary — the boundary cycle is stepped and the
+sample taken at its top, observing exactly the state the per-cycle
+oracle would observe there.  Sampling only *reads* state, so traced
+runs stay bit-identical to untraced runs (see docs/INTERNALS.md
+"Observability").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Default sampling period in cycles.
+DEFAULT_SAMPLE_PERIOD = 1000
+
+
+@dataclass
+class IntervalSample:
+    """Metrics for one sampling interval ending at ``cycle``.
+
+    Per-thread lists are indexed by thread id.  ``span`` is the
+    interval length in cycles (the final flush interval may be
+    shorter than the configured period).
+    """
+
+    cycle: int
+    span: int
+    #: Per-thread data-bus utilization over the interval (fraction of
+    #: total peak bandwidth across all channels).
+    bus_utilization: List[float]
+    #: Instantaneous queued-request count at the boundary.
+    queue_occupancy: List[int]
+    #: Row-buffer hit fraction of CAS-carrying requests this interval
+    #: (0.0 when no request issued its first command).
+    row_hit_rate: List[float]
+    #: Channel virtual-finish register minus the FQ virtual clock at
+    #: the boundary (0.0 under non-VTMS policies).
+    vft_lag: List[float]
+    #: Priority-inverting commands charged to each thread's bank queue.
+    inversions: List[int]
+    reads: List[int]
+    mean_read_latency: List[float]
+    nacks: List[int]
+    #: Channel-arbitration rounds this interval where >1 candidate was
+    #: ready (whole-system, not per-thread).
+    contended_arbitrations: int = 0
+
+    def row(self, thread: int) -> Dict[str, float]:
+        """One thread's metrics as a flat dict (export row)."""
+        return {
+            "cycle": self.cycle,
+            "span": self.span,
+            "thread": thread,
+            "bus_utilization": self.bus_utilization[thread],
+            "queue_occupancy": self.queue_occupancy[thread],
+            "row_hit_rate": self.row_hit_rate[thread],
+            "vft_lag": self.vft_lag[thread],
+            "inversions": self.inversions[thread],
+            "reads": self.reads[thread],
+            "mean_read_latency": self.mean_read_latency[thread],
+            "nacks": self.nacks[thread],
+        }
+
+
+#: Ordered column names of :meth:`IntervalSample.row` (export header).
+INTERVAL_COLUMNS = (
+    "cycle",
+    "span",
+    "thread",
+    "bus_utilization",
+    "queue_occupancy",
+    "row_hit_rate",
+    "vft_lag",
+    "inversions",
+    "reads",
+    "mean_read_latency",
+    "nacks",
+)
+
+
+@dataclass
+class _CounterSnapshot:
+    """Monotonic per-thread counters at one boundary."""
+
+    cas_cycles: List[int]
+    reads: List[int]
+    latency_sum: List[int]
+    nacks: List[int]
+    first_commands: List[int]
+    row_hits: List[int]
+    inversions: List[int]
+    contended: int = 0
+
+
+class IntervalSampler:
+    """Periodic read-only sampler attached to one :class:`RunTelemetry`."""
+
+    def __init__(self, telemetry, period: int = DEFAULT_SAMPLE_PERIOD):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.telemetry = telemetry
+        self.period = period
+        self.samples: List[IntervalSample] = []
+        #: Next cycle at which a sample falls due; the system folds
+        #: this into its event-target computation.
+        self.next_sample = period
+        self._last: Optional[_CounterSnapshot] = None
+        self._last_cycle = 0
+
+    # -- snapshotting ------------------------------------------------------
+
+    def _snapshot(self) -> _CounterSnapshot:
+        tel = self.telemetry
+        system = tel.system
+        n = system.config.num_cores
+        controllers = system.controllers
+        cas = [0] * n
+        reads = [0] * n
+        lat = [0] * n
+        nacks = [0] * n
+        for controller in controllers:
+            stats = controller.stats
+            for t in range(n):
+                cas[t] += stats.cas_cycles[t]
+                reads[t] += stats.read_count[t]
+                lat[t] += stats.read_latency_sum[t]
+                nacks[t] += stats.requests_nacked[t]
+        for t in range(n):
+            nacks[t] += system.cores[t].stats.nacks
+        return _CounterSnapshot(
+            cas_cycles=cas,
+            reads=reads,
+            latency_sum=lat,
+            nacks=nacks,
+            first_commands=list(tel.first_commands),
+            row_hits=list(tel.row_hits),
+            inversions=list(tel.inversions),
+            contended=tel.contended_arbitrations,
+        )
+
+    def _gauges(self) -> Dict[str, List[float]]:
+        """Instantaneous (non-delta) metrics at the current boundary."""
+        system = self.telemetry.system
+        n = system.config.num_cores
+        occupancy = [
+            sum(c.pending_requests(t) for c in system.controllers)
+            for t in range(n)
+        ]
+        lag = [0.0] * n
+        for controller in system.controllers:
+            vtms = controller.vtms
+            if vtms is None:
+                continue
+            clock = vtms.clock
+            for t in range(n):
+                lag[t] = max(lag[t], vtms[t].channel_finish - clock)
+        return {"queue_occupancy": occupancy, "vft_lag": lag}
+
+    # -- the sampling step -------------------------------------------------
+
+    def maybe_sample(self, now: int) -> None:
+        """Take every sample due at or before ``now``.
+
+        The engines guarantee boundaries are reached exactly (the event
+        engine clamps its skip targets to ``next_sample``), so in
+        practice this fires with ``now == next_sample``.
+        """
+        while self.next_sample <= now:
+            self._take(self.next_sample)
+            self.next_sample += self.period
+
+    def finalize(self, now: int) -> None:
+        """Flush a final (possibly short) interval ending at ``now``."""
+        if now > self._last_cycle:
+            self._take(now)
+            # Keep the schedule aligned to period multiples in case the
+            # system runs further (e.g. a second measurement window).
+            while self.next_sample <= now:
+                self.next_sample += self.period
+
+    def _take(self, cycle: int) -> None:
+        if self._last is None:
+            # Lazily snapshot the construction-time baseline; all
+            # counters are zero at cycle 0.
+            self._last = _CounterSnapshot(
+                cas_cycles=[], reads=[], latency_sum=[], nacks=[],
+                first_commands=[], row_hits=[], inversions=[],
+            )
+            n = self.telemetry.system.config.num_cores
+            for name in (
+                "cas_cycles", "reads", "latency_sum", "nacks",
+                "first_commands", "row_hits", "inversions",
+            ):
+                setattr(self._last, name, [0] * n)
+        current = self._snapshot()
+        last = self._last
+        span = cycle - self._last_cycle
+        system = self.telemetry.system
+        n = system.config.num_cores
+        channels = system.config.num_channels
+        bus_span = span * channels
+        util = [0.0] * n
+        hit_rate = [0.0] * n
+        reads = [0] * n
+        mean_lat = [0.0] * n
+        nacks = [0] * n
+        inversions = [0] * n
+        for t in range(n):
+            d_cas = current.cas_cycles[t] - last.cas_cycles[t]
+            util[t] = (d_cas / bus_span) if bus_span else 0.0
+            d_first = current.first_commands[t] - last.first_commands[t]
+            d_hits = current.row_hits[t] - last.row_hits[t]
+            hit_rate[t] = (d_hits / d_first) if d_first else 0.0
+            reads[t] = current.reads[t] - last.reads[t]
+            d_lat = current.latency_sum[t] - last.latency_sum[t]
+            mean_lat[t] = (d_lat / reads[t]) if reads[t] else 0.0
+            nacks[t] = current.nacks[t] - last.nacks[t]
+            inversions[t] = current.inversions[t] - last.inversions[t]
+        gauges = self._gauges()
+        self.samples.append(
+            IntervalSample(
+                cycle=cycle,
+                span=span,
+                bus_utilization=util,
+                queue_occupancy=[int(q) for q in gauges["queue_occupancy"]],
+                row_hit_rate=hit_rate,
+                vft_lag=gauges["vft_lag"],
+                inversions=inversions,
+                reads=reads,
+                mean_read_latency=mean_lat,
+                nacks=nacks,
+                contended_arbitrations=current.contended - last.contended,
+            )
+        )
+        self._last = current
+        self._last_cycle = cycle

@@ -141,6 +141,50 @@ class TestMutableDefaults:
         """) == []
 
 
+def telemetry_findings_for(snippet):
+    source = textwrap.dedent(snippet)
+    return lint_source(source, Path("src/repro/telemetry/export.py"))
+
+
+class TestTelemetryImports:
+    def test_import_time_in_telemetry_package(self):
+        findings = telemetry_findings_for("import time")
+        assert [f.rule for f in findings] == ["DET006"]
+
+    def test_from_datetime_import_in_telemetry_package(self):
+        findings = telemetry_findings_for("from datetime import datetime")
+        # DET006 flags the banned import itself; the import is not a
+        # call, so DET002 stays quiet until something invokes now().
+        assert [f.rule for f in findings] == ["DET006"]
+
+    def test_import_random_in_telemetry_package(self):
+        findings = telemetry_findings_for("import random")
+        assert [f.rule for f in findings] == ["DET006"]
+
+    def test_submodule_import_is_flagged(self):
+        findings = telemetry_findings_for("import datetime.timezone")
+        assert [f.rule for f in findings] == ["DET006"]
+
+    def test_same_import_outside_telemetry_is_fine(self):
+        source = textwrap.dedent("import time")
+        assert lint_source(source, Path("src/repro/sim/system.py")) == []
+
+    def test_relative_imports_are_fine(self):
+        assert telemetry_findings_for("""
+            from . import RunTelemetry
+            from ..sim.system import CmpSystem
+        """) == []
+
+    def test_suppression_applies(self):
+        assert telemetry_findings_for(
+            "import time  # det: allow(host-side benchmark harness)"
+        ) == []
+
+    def test_telemetry_package_is_clean(self):
+        findings = lint_paths([REPO_ROOT / "src" / "repro" / "telemetry"])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+
 class TestSuppression:
     def test_det_allow_comment_silences_the_line(self):
         assert rules_for("""

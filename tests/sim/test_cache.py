@@ -12,7 +12,7 @@ from repro.sim.cache import (
     result_to_json,
 )
 from repro.sim.config import SystemConfig
-from repro.sim.parallel import execute_spec, group_spec
+from repro.sim.parallel import execute_spec, group_spec, run_many
 from repro.sim.runner import clear_solo_cache, run_group
 from repro.workloads.spec2000 import profile
 
@@ -124,3 +124,38 @@ class TestTransparency:
         assert cached is not fresh
         assert cached == fresh
         assert disk_cache.hits >= 1
+
+
+class TestExtrasRoundTrip:
+    """SimResult.extras must survive every cache path (engine counters
+    ride in it; see docs/INTERNALS.md §5)."""
+
+    def test_extras_survive_serialized_text(self):
+        spec = group_spec(("gzip", "gap"), "FQ-VFTF", CYCLES, WARMUP, 0)
+        result = execute_spec(spec)
+        assert result.extras, "event-engine runs must report engine counters"
+        payload = json.loads(json.dumps(result_to_json(result)))
+        assert result_from_json(payload).extras == result.extras
+
+    def test_extras_survive_disk_hit_via_run_many(self, disk_cache):
+        spec = group_spec(("vpr", "art"), "FQ-VFTF", CYCLES, WARMUP, 0)
+        fresh = run_many([spec], jobs=1)[spec]
+        assert fresh.extras
+        # Drop the memo so the second batch must load from disk.
+        clear_solo_cache()
+        cached = run_many([spec], jobs=1)[spec]
+        assert cached is not fresh
+        assert cached.extras == fresh.extras
+        assert disk_cache.hits >= 1
+
+    def test_payload_without_extras_is_a_cache_miss(self, tmp_path):
+        spec = group_spec(("gzip",), "FR-FCFS", CYCLES, WARMUP, 0)
+        cache = ResultCache(tmp_path)
+        key = spec.fingerprint()
+        cache.put(key, execute_spec(spec))
+        payload = json.loads(cache.path_for(key).read_text())
+        del payload["extras"]
+        cache.path_for(key).write_text(json.dumps(payload))
+        # A legacy/hand-edited entry without extras must re-simulate,
+        # not serve a result whose counters were silently defaulted.
+        assert cache.get(key) is None

@@ -1,8 +1,8 @@
-"""Table and key/value rendering."""
+"""Table, key/value, and sparkline rendering."""
 
 import pytest
 
-from repro.stats.report import render_kv, render_table
+from repro.stats.report import SPARK_BLOCKS, render_kv, render_table, sparkline
 
 
 class TestRenderTable:
@@ -38,3 +38,32 @@ class TestRenderKv:
     def test_empty_pairs(self):
         out = render_kv("T", [])
         assert out.splitlines()[0] == "T"
+
+
+class TestSparkline:
+    def test_monotone_series_uses_full_scale(self):
+        out = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert out[0] == SPARK_BLOCKS[0]
+        assert out[-1] == SPARK_BLOCKS[-1]
+        assert len(out) == 9
+
+    def test_pinned_scale_clamps(self):
+        out = sparkline([-1.0, 0.5, 2.0], lo=0.0, hi=1.0)
+        assert out[0] == SPARK_BLOCKS[0]
+        assert out[-1] == SPARK_BLOCKS[-1]
+
+    def test_width_downsamples_by_chunk_mean(self):
+        out = sparkline([0, 0, 8, 8], width=2)
+        assert len(out) == 2
+        assert out[0] == SPARK_BLOCKS[0]
+        assert out[1] == SPARK_BLOCKS[-1]
+
+    def test_flat_zero_series_is_blank(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_flat_nonzero_series_is_mid_block(self):
+        mid = SPARK_BLOCKS[(len(SPARK_BLOCKS) - 1) // 2]
+        assert sparkline([3.5, 3.5]) == mid * 2
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,91 @@
+"""End-to-end CLI: ``repro-fqms trace`` exports, trace_compare diffs."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.sim.runner import clear_solo_cache
+from repro.telemetry.export import load_intervals, validate_trace
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import trace_compare  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def fresh_solo_cache():
+    clear_solo_cache()
+    yield
+    clear_solo_cache()
+
+
+def run_trace_cli(tmp_path, stem, extra):
+    trace_path = tmp_path / f"{stem}.json"
+    intervals_path = tmp_path / f"{stem}.csv"
+    code = main(
+        [
+            "trace",
+            "--cycles", "4000",
+            "--workload", "vpr,art",
+            "--period", "1000",
+            "--no-cache",
+            "--out", str(trace_path),
+            "--intervals", str(intervals_path),
+        ]
+        + extra
+    )
+    assert code == 0
+    return trace_path, intervals_path
+
+
+class TestTraceSubcommand:
+    def test_writes_valid_perfetto_json_and_intervals(self, tmp_path, capsys):
+        trace_path, intervals_path = run_trace_cli(
+            tmp_path, "fq", ["--policy", "FQ-VFTF"]
+        )
+        out = capsys.readouterr().out
+        assert f"wrote Perfetto trace to {trace_path}" in out
+        assert "convergence" in out
+        trace = json.loads(trace_path.read_text())
+        assert validate_trace(trace) == []
+        # The counter series includes the fair-share target next to the
+        # measured bus share, so convergence is visible in the UI.
+        counters = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+        assert {"T0 bus_share", "T0 fair_share_target"} <= counters
+        rows = load_intervals(intervals_path)
+        assert rows and {r["thread"] for r in rows} == {0.0, 1.0}
+
+
+class TestTraceCompareTool:
+    def test_identical_dumps_agree(self, tmp_path, capsys):
+        _, intervals = run_trace_cli(tmp_path, "fq", ["--policy", "FQ-VFTF"])
+        capsys.readouterr()
+        code = trace_compare.main([str(intervals), str(intervals)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agree within tolerance" in out
+
+    def test_policies_diverge_with_epoch(self, tmp_path, capsys):
+        _, fq = run_trace_cli(tmp_path, "fq", ["--policy", "FQ-VFTF"])
+        _, frfcfs = run_trace_cli(tmp_path, "frfcfs", ["--policy", "FR-FCFS"])
+        capsys.readouterr()
+        code = trace_compare.main(
+            [str(fq), str(frfcfs), "--metrics", "bus_utilization", "vft_lag"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "diverged beyond tolerance" in out
+        # Every reported row names a concrete first-divergence epoch or "-".
+        assert "first divergence" in out
+
+    def test_disjoint_windows_exit_2(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text(json.dumps({"cycle": 1000, "thread": 0, "vft_lag": 1}) + "\n")
+        b.write_text(json.dumps({"cycle": 9000, "thread": 0, "vft_lag": 1}) + "\n")
+        assert trace_compare.main([str(a), str(b)]) == 2
+        assert "no overlapping" in capsys.readouterr().out

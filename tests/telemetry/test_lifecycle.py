@@ -1,0 +1,132 @@
+"""Lifecycle tracer: milestone recording, ring truncation accounting."""
+
+import pytest
+
+from repro.controller.request import MemoryRequest, RequestKind
+from repro.telemetry.lifecycle import BankCommandLog, LifecycleTracer
+
+
+def read_request(thread=0, address=0x1000):
+    return MemoryRequest(
+        thread_id=thread, kind=RequestKind.READ, address=address, arrival_time=0
+    )
+
+
+def write_request(thread=0, address=0x2000):
+    return MemoryRequest(
+        thread_id=thread, kind=RequestKind.WRITE, address=address, arrival_time=0
+    )
+
+
+class TestMilestones:
+    def test_read_lifecycle_closes_at_fill(self):
+        tracer = LifecycleTracer(num_threads=1)
+        request = read_request()
+        line = request.address >> 6
+        tracer.on_submit(request, line, now=10)
+        tracer.on_accept(request, now=12)
+        tracer.on_command(request, "ACTIVATE", is_cas=False, inverted=False, now=20)
+        tracer.on_command(request, "READ", is_cas=True, inverted=False, now=30)
+        tracer.on_complete(request, now=50)
+        assert tracer.open_count == 1  # still awaiting the core fill
+        tracer.on_fill(thread=0, line=line, now=55)
+        assert tracer.open_count == 0
+        [record] = tracer.completed[0]
+        assert record.submit_cycle == 10
+        assert record.accept_cycle == 12
+        assert record.first_command == "ACTIVATE"
+        assert record.first_command_cycle == 20
+        assert record.row_outcome == "closed"
+        assert record.cas_cycle == 30
+        assert record.complete_cycle == 50
+        assert record.fill_cycle == 55
+        assert record.closed
+        assert record.latency() == 45
+
+    def test_write_lifecycle_closes_at_completion(self):
+        tracer = LifecycleTracer(num_threads=1)
+        request = write_request()
+        tracer.on_submit(request, request.address >> 6, now=0)
+        tracer.on_accept(request, now=2)
+        tracer.on_command(request, "WRITE", is_cas=True, inverted=False, now=9)
+        tracer.on_complete(request, now=21)
+        assert tracer.open_count == 0
+        [record] = tracer.completed[0]
+        assert record.kind == "write"
+        assert record.row_outcome == "hit"
+        assert record.latency() == 21
+
+    def test_row_outcomes_by_first_command(self):
+        for first, is_cas, outcome in (
+            ("READ", True, "hit"),
+            ("ACTIVATE", False, "closed"),
+            ("PRECHARGE", False, "conflict"),
+        ):
+            tracer = LifecycleTracer(num_threads=1)
+            request = read_request()
+            tracer.on_submit(request, 1, now=0)
+            tracer.on_command(request, first, is_cas=is_cas, inverted=False, now=5)
+            assert tracer._open[request.seq].row_outcome == outcome
+
+    def test_inversion_flag_is_sticky(self):
+        tracer = LifecycleTracer(num_threads=1)
+        request = read_request()
+        tracer.on_submit(request, 1, now=0)
+        tracer.on_command(request, "ACTIVATE", is_cas=False, inverted=True, now=3)
+        tracer.on_command(request, "READ", is_cas=True, inverted=False, now=8)
+        assert tracer._open[request.seq].inverted
+
+    def test_unseen_request_events_are_ignored(self):
+        tracer = LifecycleTracer(num_threads=1)
+        request = read_request()
+        # No on_submit (e.g. tracing attached mid-run): later hooks
+        # must not raise and must not fabricate records.
+        tracer.on_accept(request, now=1)
+        tracer.on_command(request, "READ", is_cas=True, inverted=False, now=2)
+        tracer.on_complete(request, now=3)
+        tracer.on_fill(0, 99, now=4)
+        assert tracer.open_count == 0
+        assert len(tracer.completed[0]) == 0
+
+
+class TestRingTruncation:
+    def test_overflow_evicts_oldest_and_counts_drops(self):
+        tracer = LifecycleTracer(num_threads=1, capacity=3)
+        for i in range(5):
+            request = write_request(address=0x1000 * (i + 1))
+            tracer.on_submit(request, i, now=i)
+            tracer.on_complete(request, now=i + 10)
+        assert len(tracer.completed[0]) == 3
+        assert tracer.dropped[0] == 2
+        retained = [r.submit_cycle for r in tracer.completed[0]]
+        assert retained == [2, 3, 4]  # oldest evicted first
+        summary = tracer.summary()
+        assert summary["lifecycles_completed"] == 5
+        assert summary["lifecycles_retained"] == 3
+        assert summary["lifecycles_dropped"] == 2
+
+    def test_drops_are_per_thread(self):
+        tracer = LifecycleTracer(num_threads=2, capacity=1)
+        for thread, count in ((0, 3), (1, 1)):
+            for i in range(count):
+                request = write_request(thread=thread, address=0x40 * (i + 1))
+                tracer.on_submit(request, i, now=0)
+                tracer.on_complete(request, now=1)
+        assert tracer.dropped == [2, 0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LifecycleTracer(num_threads=1, capacity=0)
+
+
+class TestBankCommandLog:
+    def test_records_per_bank_and_counts_drops(self):
+        log = BankCommandLog(capacity=2)
+        for cycle in range(4):
+            log.record(0, 0, 3, cycle, "READ", row=7, thread=1, duration=8)
+        log.record(0, 1, 0, 9, "ACTIVATE", row=2, thread=0, duration=10)
+        assert log.banks() == [(0, 0, 3), (0, 1, 0)]
+        events = log.events(0, 0, 3)
+        assert [e[0] for e in events] == [2, 3]  # oldest evicted
+        assert log.dropped == 2
+        assert log.events(9, 9, 9) == []

@@ -1,0 +1,116 @@
+"""Report rendering: convergence detection and the CLI golden output.
+
+The golden test pins the exact text of ``repro-fqms report`` at a
+fixed, fully deterministic configuration.  Regenerate after an
+intentional format change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/telemetry/test_report.py -k golden
+"""
+
+import os
+from pathlib import Path
+
+from repro.cli import main
+from repro.sim.runner import clear_solo_cache
+from repro.telemetry.report import (
+    convergence_epoch,
+    render_trace_report,
+)
+from repro.telemetry.sampler import IntervalSample
+
+GOLDEN = Path(__file__).with_name("golden_report.txt")
+
+
+def sample(cycle, shares, span=1000):
+    n = len(shares)
+    return IntervalSample(
+        cycle=cycle,
+        span=span,
+        bus_utilization=list(shares),
+        queue_occupancy=[0] * n,
+        row_hit_rate=[0.0] * n,
+        vft_lag=[0.0] * n,
+        inversions=[0] * n,
+        reads=[0] * n,
+        mean_read_latency=[0.0] * n,
+        nacks=[0] * n,
+    )
+
+
+class TestConvergenceEpoch:
+    def test_settles_after_transient(self):
+        samples = [
+            sample(1000, [0.9]),
+            sample(2000, [0.7]),
+            sample(3000, [0.52]),
+            sample(4000, [0.48]),
+        ]
+        assert convergence_epoch(samples, 0, target=0.5, tolerance=0.25) == 3000
+
+    def test_relapse_resets_the_epoch(self):
+        samples = [
+            sample(1000, [0.5]),
+            sample(2000, [0.9]),  # leaves the band again
+            sample(3000, [0.5]),
+        ]
+        assert convergence_epoch(samples, 0, target=0.5, tolerance=0.1) == 3000
+
+    def test_never_converges(self):
+        samples = [sample(1000, [0.9]), sample(2000, [0.95])]
+        assert convergence_epoch(samples, 0, target=0.5) is None
+
+    def test_zero_target_or_empty_series(self):
+        assert convergence_epoch([sample(1000, [0.5])], 0, target=0.0) is None
+        assert convergence_epoch([], 0, target=0.5) is None
+
+    def test_converged_from_the_start(self):
+        samples = [sample(1000, [0.5]), sample(2000, [0.51])]
+        assert convergence_epoch(samples, 0, target=0.5, tolerance=0.1) == 1000
+
+
+class TestRenderTraceReport:
+    def test_mentions_threads_targets_and_verdicts(self):
+        samples = [sample(c, [0.7, 0.3]) for c in (1000, 2000, 3000)]
+        out = render_trace_report(
+            samples, ["vpr", "art"], fair_shares=[0.7, 0.3], title="demo"
+        )
+        assert out.splitlines()[0] == "demo"
+        assert "T0 vpr" in out
+        assert "T1 art" in out
+        assert "converged to target 0.700" in out
+        assert "converged to target 0.300" in out
+        assert "priority inversions" in out
+
+    def test_empty_samples(self):
+        out = render_trace_report([], ["vpr"], title="empty")
+        assert "(no interval samples recorded)" in out
+
+
+class TestGoldenReport:
+    def test_cli_report_matches_golden(self, capsys):
+        clear_solo_cache()
+        assert (
+            main(
+                [
+                    "report",
+                    "--cycles", "4000",
+                    "--seed", "0",
+                    "--workload", "vpr,art",
+                    "--policy", "FQ-VFTF",
+                    "--period", "1000",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # Drop the wall-clock banner ("=== report (3s) ===") — the only
+        # nondeterministic line — and trailing blank lines.
+        body = "\n".join(
+            line for line in out.splitlines() if not line.startswith("=== report")
+        ).rstrip() + "\n"
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN.write_text(body)
+        assert GOLDEN.exists(), "golden file missing; rerun with REPRO_UPDATE_GOLDEN=1"
+        assert body == GOLDEN.read_text()

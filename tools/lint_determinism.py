@@ -23,6 +23,10 @@ DET004  float equality on priority keys — ``==``/``!=`` against VTMS
         virtual-time fields; compare full ordering keys (which carry
         integer tie-breakers) instead.
 DET005  mutable default argument — classic shared-state trap.
+DET006  time/RNG imports inside ``src/repro/telemetry/`` — exporters
+        must derive every timestamp from simulated cycles, so merely
+        *importing* ``time``, ``datetime``, or ``random`` there is an
+        error (stricter than DET001/DET002, which flag only calls).
 
 Suppress a deliberate use with a trailing ``# det: allow(reason)``
 comment on the offending line.
@@ -68,6 +72,14 @@ FLOAT_PRIORITY_ATTRS = {
 }
 
 MUTABLE_DEFAULT_CALLS = {"list", "dict", "set", "deque", "defaultdict"}
+
+#: Modules the telemetry package may not import at all (DET006): every
+#: telemetry timestamp must come from simulated cycles, and telemetry
+#: must never perturb (or appear to perturb) a traced run.
+TELEMETRY_BANNED_MODULES = {"time", "datetime", "random"}
+
+#: Path component marking a file as part of the telemetry package.
+TELEMETRY_PACKAGE = "telemetry"
 
 
 class Finding:
@@ -151,6 +163,7 @@ class _HazardVisitor(ast.NodeVisitor):
     def __init__(self, path: Path, set_names: Set[str]):
         self.path = path
         self.set_names = set_names
+        self.in_telemetry = TELEMETRY_PACKAGE in path.parts
         self.findings: List[Finding] = []
         #: Comprehension generators consumed by an order-insensitive
         #: reducer (``min(x for x in s)`` and ``min({...})`` shapes).
@@ -207,7 +220,28 @@ class _HazardVisitor(ast.NodeVisitor):
                     self._blessed.add(id(arg))
         self.generic_visit(node)
 
+    # -- DET006: banned imports in the telemetry package ---------------------
+
+    def _check_telemetry_import(self, node: ast.AST, module: str) -> None:
+        root = module.split(".", 1)[0]
+        if root in TELEMETRY_BANNED_MODULES:
+            self._emit(
+                node,
+                "DET006",
+                f"import of '{module}' inside the telemetry package; "
+                "telemetry timestamps must derive only from simulated "
+                "cycles, never host time or randomness",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.in_telemetry:
+            for alias in node.names:
+                self._check_telemetry_import(node, alias.name)
+        self.generic_visit(node)
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.in_telemetry and node.module is not None and node.level == 0:
+            self._check_telemetry_import(node, node.module)
         if node.module == "random":
             imported = {alias.name for alias in node.names}
             bad = sorted(imported & GLOBAL_RANDOM_FUNCS)

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Diff two interval-metric dumps and print per-thread divergence epochs.
+
+Both inputs are interval dumps written by ``repro-fqms trace
+--intervals`` (CSV or JSONL, sniffed automatically).  Typical uses:
+
+* policy dynamics: FQ-VFTF vs FR-FCFS on the same workload — where in
+  the run does fair queuing start redistributing bandwidth?
+* engine validation: event vs cycle engine on the same configuration —
+  any divergence epoch is a bug (the engines must agree sample by
+  sample).
+
+For every metric the tool reports, per thread, the first interval
+("epoch") whose values differ beyond tolerance and the largest
+divergence over the common window.  Exit code is 1 when any metric
+diverged, so engine comparisons can gate CI.
+
+    PYTHONPATH=src python tools/trace_compare.py a.csv b.csv
+    PYTHONPATH=src python tools/trace_compare.py fq.jsonl frfcfs.jsonl \
+        --metrics bus_utilization vft_lag --rel-tol 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.stats.report import render_table  # noqa: E402
+from repro.telemetry.export import load_intervals  # noqa: E402
+
+#: Metrics compared when --metrics is not given.
+DEFAULT_METRICS = (
+    "bus_utilization",
+    "queue_occupancy",
+    "row_hit_rate",
+    "vft_lag",
+    "inversions",
+    "mean_read_latency",
+)
+
+
+@dataclass
+class Divergence:
+    """Comparison outcome for one (metric, thread) pair."""
+
+    metric: str
+    thread: int
+    first_epoch: Optional[float]  #: cycle of the first out-of-tolerance interval
+    max_delta: float
+    max_epoch: Optional[float]  #: cycle where the largest delta occurred
+    intervals: int  #: intervals compared
+
+    @property
+    def diverged(self) -> bool:
+        return self.first_epoch is not None
+
+
+def index_rows(
+    rows: Sequence[Dict[str, float]],
+) -> Dict[Tuple[float, float], Dict[str, float]]:
+    """Index dump rows by (cycle, thread)."""
+    return {(row["cycle"], row["thread"]): row for row in rows}
+
+
+def compare(
+    rows_a: Sequence[Dict[str, float]],
+    rows_b: Sequence[Dict[str, float]],
+    metrics: Sequence[str],
+    rel_tol: float,
+    abs_tol: float,
+) -> List[Divergence]:
+    """Compare two dumps over their common (cycle, thread) window."""
+    index_a = index_rows(rows_a)
+    index_b = index_rows(rows_b)
+    common = sorted(set(index_a) & set(index_b))
+    threads = sorted({thread for _, thread in common})
+    out: List[Divergence] = []
+    for metric in metrics:
+        for thread in threads:
+            first: Optional[float] = None
+            max_delta = 0.0
+            max_epoch: Optional[float] = None
+            count = 0
+            for cycle, t in common:
+                if t != thread:
+                    continue
+                a = index_a[(cycle, t)].get(metric)
+                b = index_b[(cycle, t)].get(metric)
+                if a is None or b is None:
+                    continue
+                count += 1
+                delta = abs(a - b)
+                if delta > max_delta:
+                    max_delta = delta
+                    max_epoch = cycle
+                bound = max(abs_tol, rel_tol * max(abs(a), abs(b)))
+                if delta > bound and first is None:
+                    first = cycle
+            out.append(
+                Divergence(
+                    metric=metric,
+                    thread=int(thread),
+                    first_epoch=first,
+                    max_delta=max_delta,
+                    max_epoch=max_epoch,
+                    intervals=count,
+                )
+            )
+    return out
+
+
+def render(divergences: Sequence[Divergence]) -> str:
+    rows = []
+    for d in divergences:
+        rows.append(
+            (
+                d.metric,
+                f"T{d.thread}",
+                d.intervals,
+                "-" if d.first_epoch is None else int(d.first_epoch),
+                d.max_delta,
+                "-" if d.max_epoch is None else int(d.max_epoch),
+            )
+        )
+    return render_table(
+        ("metric", "thread", "intervals", "first divergence", "max |delta|", "at"),
+        rows,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump_a", help="first interval dump (.csv or .jsonl)")
+    parser.add_argument("dump_b", help="second interval dump (.csv or .jsonl)")
+    parser.add_argument(
+        "--metrics",
+        nargs="+",
+        default=list(DEFAULT_METRICS),
+        help=f"metrics to compare (default: {' '.join(DEFAULT_METRICS)})",
+    )
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.0,
+        help="relative tolerance per interval (default 0: exact)",
+    )
+    parser.add_argument(
+        "--abs-tol",
+        type=float,
+        default=0.0,
+        help="absolute tolerance per interval (default 0: exact)",
+    )
+    args = parser.parse_args(argv)
+    rows_a = load_intervals(args.dump_a)
+    rows_b = load_intervals(args.dump_b)
+    divergences = compare(
+        rows_a, rows_b, args.metrics, args.rel_tol, args.abs_tol
+    )
+    if not any(d.intervals for d in divergences):
+        print("no overlapping (cycle, thread) intervals between the dumps")
+        return 2
+    print(render(divergences))
+    diverged = [d for d in divergences if d.diverged]
+    if diverged:
+        print(
+            f"\n{len(diverged)} of {len(divergences)} metric/thread series "
+            "diverged beyond tolerance"
+        )
+        return 1
+    print("\nall compared series agree within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
