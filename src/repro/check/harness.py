@@ -20,12 +20,16 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Sequence, Tuple
 
+from ..policy import HEADLINE_POLICIES
 from ..sim.config import SystemConfig
 from ..sim.system import CmpSystem, SimResult, comparable_result
 from ..workloads.spec2000 import profile
 
-#: The paper's three headline policies (§5 evaluation).
-DEFAULT_POLICIES: Tuple[str, ...] = ("FR-FCFS", "FR-VFTF", "FQ-VFTF")
+#: The policies every differential check covers: the paper's three
+#: headline schedulers (§5 evaluation) plus the post-paper policies
+#: (BLISS, MISE) — all must satisfy the protocol sanitizer and engine
+#: bit-identity.
+DEFAULT_POLICIES: Tuple[str, ...] = HEADLINE_POLICIES
 
 #: The paper's canonical mixed pair: latency-sensitive vpr against the
 #: bandwidth-hungry art stream (Figures 1 and 5–7).

@@ -93,12 +93,15 @@ class SchedulerInvariantChecker:
         if bound is None:
             bound = controller.dram.timing.t_ras
         self.inversion_bound = bound
-        #: The bounded-inversion check needs the scheduler's visible
+        #: The §3.3 bounded-inversion invariant arms only for the
+        #: FQ family — policies running the bank-commit rule.  Other
+        #: policies (FR-FCFS, FR-VFTF, BLISS, MISE) permit unbounded
+        #: inversion by design.  It also needs the scheduler's visible
         #: queue to equal the accepted-minus-retired set, which holds
         #: only under the paper's FCFS write scheduling (watermark
         #: draining hides writes from the queue).
         self.check_inversion = (
-            self.policy.fq_bank_rule and controller.write_drain == "fcfs"
+            self.policy.fq_family and controller.write_drain == "fcfs"
         )
         # Conservation ledgers (request seq -> lifecycle stage).
         self._pending_seqs: Set[int] = set()

@@ -10,6 +10,8 @@ Examples::
     repro-fqms figure1 --check        # any run, with checkers attached
     repro-fqms trace --workload vpr,art --policy FQ-VFTF --out trace.json
     repro-fqms report --workload vpr,art --policy FR-FCFS
+    repro-fqms compare                # rank every registered policy
+    repro-fqms compare --policies FR-FCFS,FQ-VFTF,BLISS --json cmp.json
 """
 
 from __future__ import annotations
@@ -47,6 +49,7 @@ from .experiments.ablations import (
     sweep_write_drain,
     render_write_drain_sweep,
 )
+from .policy import canonical, registered_names
 from .sim.cache import configure_cache
 from .sim.runner import DEFAULT_CYCLES
 
@@ -132,7 +135,12 @@ def _run_trace(args, export: bool) -> str:
     title = f"{'+'.join(names)} under {args.policy}"
     lines = [
         render_trace_report(
-            run.telemetry.samples(), run.thread_names, run.fair_shares, title=title
+            run.telemetry.samples(),
+            run.thread_names,
+            run.fair_shares,
+            title=title,
+            policy=run.telemetry.policy_name,
+            policy_key_fields=run.telemetry.policy_key_fields,
         ),
         "",
         render_summary_table(run.telemetry.summary()),
@@ -168,11 +176,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=FIGURES + ("ablations", "all", "check", "trace", "report"),
+        choices=FIGURES + ("ablations", "all", "check", "trace", "report", "compare"),
         help="which evaluation artifact to regenerate ('check' runs the "
         "protocol/invariant sanitizers differentially; 'trace' runs one "
         "workload with telemetry and exports a Perfetto trace; 'report' "
-        "prints the interval-metrics dashboard)",
+        "prints the interval-metrics dashboard; 'compare' ranks "
+        "scheduling policies by fairness on the canonical mixes)",
     )
     parser.add_argument(
         "--cycles",
@@ -237,7 +246,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--policy",
         default="FQ-VFTF",
-        help="scheduling policy for 'trace'/'report' (default FQ-VFTF)",
+        help="scheduling policy for 'trace'/'report' (default FQ-VFTF; "
+        f"registered: {', '.join(registered_names())})",
+    )
+    parser.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policies for 'compare' (default: every "
+        "registered policy)",
     )
     parser.add_argument(
         "--period",
@@ -262,6 +278,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs <= 0:
         parser.error("--jobs must be positive")
+    try:
+        canonical(args.policy)
+        if args.policies is not None:
+            args.policies = [
+                canonical(p.strip())
+                for p in args.policies.split(",")
+                if p.strip()
+            ]
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.check:
         # Via the environment so the parallel engine's worker processes
         # inherit it.  Note cached results are served without
@@ -291,6 +317,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             body = differential_report(args.cycles, args.seed)
         elif target in ("trace", "report"):
             body = _run_trace(args, export=target == "trace")
+        elif target == "compare":
+            from .experiments.fairness import (
+                fairness_payload,
+                render_fairness,
+                run_fairness,
+            )
+
+            outcomes = run_fairness(
+                policies=args.policies,
+                cycles=args.cycles,
+                seed=args.seed,
+                jobs=args.jobs,
+            )
+            body = render_fairness(outcomes)
+            payload = fairness_payload(outcomes)
+            payload["figure"] = "compare"
+            json_payloads.append(payload)
         else:
             result = _run_figure(target, args.cycles, args.seed, jobs=args.jobs)
             body = result.render()

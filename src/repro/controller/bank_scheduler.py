@@ -22,10 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..core.policies import Policy
 from ..core.vtms import VtmsState
 from ..dram.commands import CommandType
 from ..dram.dram_system import DramSystem
+from ..policy.base import SchedulingPolicy
 from .request import MemoryRequest
 
 
@@ -65,7 +65,7 @@ class BankScheduler:
         rank: int,
         bank: int,
         dram: DramSystem,
-        policy: Policy,
+        policy: SchedulingPolicy,
         vtms: Optional[VtmsState],
         inversion_bound: int,
         row_policy: str = "closed",
@@ -110,6 +110,18 @@ class BankScheduler:
         #: Inputs of the last finish-time scan (thread epochs are
         #: monotonic, so their sum is a valid version counter).
         self._vft_scan_stamp: Optional[Tuple] = None
+        #: Fast selection path: keys memoizable per request and the
+        #: classic ready → CAS-over-RAS → key priority levels.  The
+        #: paper policies all qualify; stateful policies (fresh keys
+        #: every pass) and key-over-CAS policies take the generic loop.
+        #: Rebinding the methods here keeps the fast path branch-free —
+        #: the selection loop and key memo run the exact pre-subsystem
+        #: instruction stream for the paper policies.
+        self._fast_path = policy.memoize_keys and not policy.key_over_cas
+        if not self._fast_path:
+            self.candidate = self._candidate_generic  # type: ignore[method-assign]
+        if not policy.memoize_keys:
+            self._request_key = policy.request_key  # type: ignore[method-assign]
         if policy.uses_vtms and vtms is None:
             raise ValueError(f"policy {policy.name} requires VTMS state")
 
@@ -137,6 +149,10 @@ class BankScheduler:
         FR-FCFS keys are fixed at arrival; VTMS keys change only when
         :meth:`_refresh_finish_times` moves the request's ``vft_stamp``,
         so the tuple is rebuilt exactly when its inputs changed.
+        Policies whose keys read mutable policy state opt out of the
+        memo (``memoize_keys`` False): construction rebinds this name
+        to the policy's raw ``request_key``, so they recompute every
+        call and the memoizing path stays branch-free.
         """
         stamp = request.vft_stamp
         cached = request.key_cache
@@ -331,6 +347,86 @@ class BankScheduler:
                 key = policy_key(request)
                 request.key_cache = (stamp, key)
             sort = (not ready, not kind.is_cas, key)
+            if best_sort is None or sort < best_sort:
+                best_request, best_sort, best_kind = request, sort, kind
+        assert best_request is not None and best_sort is not None
+        return self._candidate_for(
+            best_request, now, kind=best_kind, ready=not best_sort[0]
+        )
+
+    def _candidate_generic(
+        self, now: int, draining_for_refresh: bool = False
+    ) -> Optional[CandidateCommand]:
+        """Generic selection for policies off the fast path.
+
+        Construction rebinds :meth:`candidate` here when the policy's
+        keys read mutable state (recomputed on every pass, no
+        per-request memo) or rank above the CAS-over-RAS preference
+        (``key_over_cas``; ready commands still rank above not-ready
+        ones).  The prologue mirrors :meth:`candidate` exactly.
+        """
+        bank = self._bank_state()
+        if (
+            self.policy.uses_vtms
+            and not self.policy.arrival_accounting
+            and self.queue
+        ):
+            self._refresh_finish_times()
+
+        if self.writes_eligible:
+            visible = self.queue
+        else:
+            visible = [r for r in self.queue if r.is_read]
+
+        has_row_work = bank.open_row is not None and any(
+            r.row == bank.open_row for r in visible
+        )
+        if not visible or (bank.open_row is not None and not has_row_work):
+            if self.row_policy == "closed" or draining_for_refresh:
+                auto = self._auto_precharge(now)
+                if auto is not None and not visible:
+                    return auto
+
+        if not visible:
+            return None
+
+        if draining_for_refresh and bank.open_row is None:
+            return None
+
+        if (
+            self.policy.fq_bank_rule
+            and bank.open_row is not None
+            and now - bank.last_activate >= self.inversion_bound
+        ):
+            chosen = min(visible, key=self._request_key)
+            return self._candidate_for(chosen, now)
+
+        open_row = bank.open_row
+        ready_by_kind: dict = {}
+        best_request: Optional[MemoryRequest] = None
+        best_sort: Optional[Tuple] = None
+        best_kind: Optional[CommandType] = None
+        activate, precharge = CommandType.ACTIVATE, CommandType.PRECHARGE
+        read, write = CommandType.READ, CommandType.WRITE
+        can_issue = self.dram.can_issue
+        policy_key = self.policy.request_key
+        key_over_cas = self.policy.key_over_cas
+        for request in visible:
+            if open_row is None:
+                kind = activate
+            elif open_row == request.row:
+                kind = read if request.is_read else write
+            else:
+                kind = precharge
+            ready = ready_by_kind.get(kind)
+            if ready is None:
+                ready = can_issue(kind, self.rank, self.bank, now)
+                ready_by_kind[kind] = ready
+            key = policy_key(request)
+            if key_over_cas:
+                sort = (not ready, key)
+            else:
+                sort = (not ready, not kind.is_cas, key)
             if best_sort is None or sort < best_sort:
                 best_request, best_sort, best_kind = request, sort, kind
         assert best_request is not None and best_sort is not None

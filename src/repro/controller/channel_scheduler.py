@@ -38,6 +38,14 @@ class ChannelScheduler:
         #: invalidated, or the bank is in committed FQ mode where no
         #: bound may be cached).
         self._bounds: List[Optional[int]] = [None] * len(self.bank_schedulers)
+        #: Whether channel arbitration keeps the CAS-over-RAS level
+        #: above the policy key; key-over-CAS policies (e.g. BLISS)
+        #: rank the key first.
+        self._cas_first = (
+            not self.bank_schedulers[0].policy.key_over_cas
+            if self.bank_schedulers
+            else True
+        )
         #: Optional run telemetry (repro.telemetry); None in normal
         #: runs, so arbitration accounting costs one attribute test.
         self.telemetry = None
@@ -60,6 +68,7 @@ class ChannelScheduler:
         best_sort = None
         bounds = self._bounds
         telemetry = self.telemetry
+        cas_first = self._cas_first
         ready_seen = 0
         for i, scheduler in enumerate(self.bank_schedulers):
             bound = bounds[i]
@@ -74,7 +83,10 @@ class ChannelScheduler:
                 # non-ready candidates (see the skip-soundness note in
                 # the module docstring).
                 ready_seen += 1
-            sort = (not cand.kind.is_cas, cand.key)
+            if cas_first:
+                sort = (not cand.kind.is_cas, cand.key)
+            else:
+                sort = cand.key
             if best_sort is None or sort < best_sort:
                 best, best_sort = cand, sort
         if telemetry is not None and best is not None:

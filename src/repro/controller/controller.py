@@ -17,8 +17,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 if TYPE_CHECKING:  # pragma: no cover - types only (avoids import cycle)
     from ..check import RunChecker
 
-from ..core.policies import FR_FCFS, Policy
+from ..core.policies import FR_FCFS
 from ..core.shares import equal_shares, validate_shares
+from ..policy.base import SchedulingPolicy
 from ..core.vtms import VtmsState
 from ..dram.commands import CommandType
 from ..dram.dram_system import DramSystem
@@ -101,7 +102,7 @@ class MemoryController:
         dram: DramSystem,
         address_map: AddressMap,
         num_threads: int,
-        policy: Policy = FR_FCFS,
+        policy: SchedulingPolicy = FR_FCFS,
         shares: Optional[Sequence[float]] = None,
         read_entries_per_thread: int = 16,
         write_entries_per_thread: int = 8,
@@ -163,6 +164,12 @@ class MemoryController:
         #: Pending (queued but not CAS-issued) requests per thread, for
         #: Ra_i maintenance and occupancy queries.
         self._pending: List[Set[MemoryRequest]] = [set() for _ in range(num_threads)]
+        #: Stateful policies (BLISS, MISE, ...) get lifecycle hooks;
+        #: None for the stateless paper policies, so the hook sites
+        #: below cost one attribute test each.
+        self._policy_hooks: Optional[SchedulingPolicy] = (
+            policy if policy.has_hooks else None
+        )
         #: Optional runtime checker (repro.check); None in normal runs,
         #: so the per-event hooks below cost one attribute test each.
         self.checker: Optional["RunChecker"] = None
@@ -210,6 +217,8 @@ class MemoryController:
             self.checker.on_accept(request, self.now)
         if self.telemetry is not None:
             self.telemetry.on_accept(request, self.now)
+        if self._policy_hooks is not None:
+            self._policy_hooks.on_arrival(request, self.now)
         return True
 
     def _refresh_oldest_arrival(self, thread_id: int) -> None:
@@ -233,6 +242,11 @@ class MemoryController:
     def tick(self, now: int) -> List[MemoryRequest]:
         """Run one controller cycle; return reads whose data completed."""
         self.now = now
+        if self._policy_hooks is not None:
+            # No-op except at the boundaries the policy publishes via
+            # next_event_time, which keeps the event engine
+            # bit-identical (skipped cycles are provably no-ops).
+            self._policy_hooks.on_cycle(now)
         completed = self._pop_completed(now)
         in_refresh = self.dram.in_refresh(now)
 
@@ -321,6 +335,8 @@ class MemoryController:
             )
         scheduler = self._scheduler_index[(cand.rank, cand.bank)]
         scheduler.on_issue(cand, now)
+        if self._policy_hooks is not None:
+            self._policy_hooks.on_issue(cand, now)
         self.channel_scheduler.invalidate(cand.rank, cand.bank)
 
         if (
@@ -360,6 +376,8 @@ class MemoryController:
                 self.checker.on_complete(request, now)
             if self.telemetry is not None:
                 self.telemetry.on_complete(request, now)
+            if self._policy_hooks is not None:
+                self._policy_hooks.on_complete(request, now)
             if request.is_read:
                 if not request.prefetch:
                     latency = request.latency()
@@ -405,6 +423,14 @@ class MemoryController:
                 candidates.append(max(now, self._sleep_until))
             if self.dram.enable_refresh and self.dram.next_refresh_due is not None:
                 candidates.append(max(now, self.dram.next_refresh_due))
+        if self._policy_hooks is not None:
+            # Always fold the policy's boundary in — even when the
+            # controller is otherwise idle — so epoch/interval ticks
+            # (blacklist clears, slowdown snapshots) are stepped at
+            # exactly the cycle the per-cycle engine would run them.
+            wake = self._policy_hooks.next_event_time(now)
+            if wake is not None:
+                candidates.append(max(now, wake))
         if not candidates:
             return None
         return min(candidates)

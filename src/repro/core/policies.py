@@ -22,11 +22,18 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..controller.request import MemoryRequest
+from ..policy.base import SchedulingPolicy
 
 
 @dataclass(frozen=True)
-class Policy:
-    """A memory-scheduler priority policy.
+class Policy(SchedulingPolicy):
+    """A paper-policy instance of the :class:`SchedulingPolicy` protocol.
+
+    The five paper policies (and the bounded ablation variant) are all
+    stateless value objects of this one dataclass: keys are pure
+    functions of request fields and VTMS stamps (``memoize_keys``
+    stays True), no hooks are needed, and the flags below select the
+    behaviour.
 
     Attributes:
         name: Short identifier used in reports ("FR-FCFS", ...).
@@ -46,6 +53,13 @@ class Policy:
     #: Paper §2.3: prioritize earliest virtual *start*-time instead of
     #: earliest virtual finish-time (VirtualClock-style).
     start_time_priority: bool = False
+
+    def key_field_names(self) -> Tuple[str, ...]:
+        if self.uses_vtms:
+            if self.start_time_priority:
+                return ("virtual_start_time", "arrival_time", "seq")
+            return ("virtual_finish_time", "arrival_time", "seq")
+        return ("arrival_time", "seq")
 
     def request_key(self, request: MemoryRequest) -> Tuple:
         """Ordering key — lower compares as higher priority."""
@@ -79,11 +93,18 @@ FQ_VSTF = Policy(
     start_time_priority=True,
 )
 
+#: The paper's own policies, by name.  The full runtime registry —
+#: which also holds BLISS, MISE, and anything user-registered — lives
+#: in :mod:`repro.policy.registry`; this dict stays paper-only.
 POLICIES = {p.name: p for p in (FR_FCFS, FR_VFTF, FQ_VFTF, FQ_VFTF_ARR, FQ_VSTF)}
 
 
 def get_policy(name: str) -> Policy:
-    """Look up a policy by name (case-insensitive)."""
+    """Look up a *paper* policy by name (case-insensitive).
+
+    For the full registry (paper + post-paper + user-registered
+    policies) use :func:`repro.policy.resolve` instead.
+    """
     key = name.upper().replace("_", "-")
     if key not in POLICIES:
         raise KeyError(

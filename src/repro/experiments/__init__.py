@@ -7,10 +7,17 @@ from .figure6 import Figure6Result, run_figure6
 from .figure7 import Figure7Result, run_figure7
 from .figure8 import Figure8Result, run_figure8
 from .figure9 import Figure9Result, run_figure9
+from .fairness import (
+    FairnessOutcome,
+    fairness_payload,
+    render_fairness,
+    run_fairness,
+)
 from .pairs import POLICIES, PairOutcome, run_pairs
 from .quads import QUAD_POLICIES, QuadOutcome, run_quads
 
 __all__ = [
+    "FairnessOutcome",
     "Figure1Result",
     "Figure4Result",
     "Figure5Result",
@@ -22,6 +29,9 @@ __all__ = [
     "PairOutcome",
     "QUAD_POLICIES",
     "QuadOutcome",
+    "fairness_payload",
+    "render_fairness",
+    "run_fairness",
     "run_figure1",
     "run_figure4",
     "run_figure5",

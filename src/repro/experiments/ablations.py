@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..policy import BASELINE_POLICY, canonical
 from ..sim.config import SystemConfig
 from ..sim.runner import DEFAULT_CYCLES, default_warmup, run_solo
 from ..sim.system import CmpSystem
@@ -47,7 +48,7 @@ def sweep_inversion_bound(
     base = run_solo(subject, scale=2.0, cycles=cycles, seed=seed).threads[0].ipc
     rows: List[InversionBoundRow] = []
     for bound in bounds:
-        policy = "FQ-VFTF" if bound is not None else "FR-VFTF"
+        policy = canonical("FQ-VFTF" if bound is not None else "FR-VFTF")
         config = SystemConfig(
             num_cores=2, policy=policy, seed=seed, inversion_bound=bound
         )
@@ -86,7 +87,7 @@ def sweep_shares(
         ).threads[0].ipc
         config = SystemConfig(
             num_cores=2,
-            policy="FQ-VFTF",
+            policy=canonical("FQ-VFTF"),
             shares=[share, 1.0 - share],
             seed=seed,
         )
@@ -124,7 +125,7 @@ def sweep_buffers(
     for size in sizes:
         config = SystemConfig(
             num_cores=2,
-            policy="FQ-VFTF",
+            policy=canonical("FQ-VFTF"),
             read_entries_per_thread=size,
             write_entries_per_thread=max(1, size // 2),
             seed=seed,
@@ -172,7 +173,7 @@ def sweep_vft_accounting(
         random_thread, scale=2.0, cycles=cycles, seed=seed
     ).threads[0].ipc
     rows: List[AccountingRow] = []
-    for policy in ("FQ-VFTF", "FQ-VFTF-ARR"):
+    for policy in (canonical("FQ-VFTF"), canonical("FQ-VFTF-ARR")):
         config = SystemConfig(num_cores=2, policy=policy, seed=seed)
         system = CmpSystem(config, [hit_heavy, random_thread])
         result = system.run(cycles, warmup=default_warmup(cycles))
@@ -197,7 +198,7 @@ class WriteDrainRow:
 
 def sweep_write_drain(
     workload_names: Sequence[str] = ("swim", "art"),
-    policies: Sequence[str] = ("FR-FCFS", "FQ-VFTF"),
+    policies: Sequence[str] = (BASELINE_POLICY, "FQ-VFTF"),
     cycles: int = DEFAULT_CYCLES,
     seed: int = 0,
 ) -> List[WriteDrainRow]:
@@ -272,7 +273,7 @@ def sweep_discipline(
     subject = profile(subject_name)
     base = run_solo(subject, scale=2.0, cycles=cycles, seed=seed).threads[0].ipc
     rows: List[DisciplineRow] = []
-    for policy in ("FQ-VFTF", "FQ-VSTF"):
+    for policy in (canonical("FQ-VFTF"), canonical("FQ-VSTF")):
         config = SystemConfig(num_cores=2, policy=policy, seed=seed)
         system = CmpSystem(config, [subject, BACKGROUND])
         result = system.run(cycles, warmup=default_warmup(cycles))

@@ -1,0 +1,193 @@
+"""Fairness evaluation harness: every registered policy, ranked.
+
+Runs each scheduling policy in the registry over the canonical pair
+and quad workload mixes, measures per-thread slowdown against
+*unscaled* solo baselines (the MISE/BLISS methodology: how much slower
+does a thread run sharing the memory system than owning it), and ranks
+policies by the fairness headline — maximum slowdown — alongside the
+throughput metrics, so a fairness/throughput trade-off reads off one
+table.
+
+All simulations flow through the parallel engine and the persistent
+result cache (:func:`~repro.sim.parallel.run_many`), so a full
+comparison after a code change costs one batch of misses and repeat
+invocations are pure cache hits.
+
+This is the engine behind ``repro-fqms compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..policy import registered_names
+from ..sim.parallel import group_spec, run_many, solo_spec
+from ..sim.runner import DEFAULT_CYCLES, default_warmup, run_group, run_solo
+from ..sim.system import SimResult
+from ..stats.fairness import (
+    harmonic_speedup,
+    max_slowdown,
+    slowdowns,
+    unfairness,
+    weighted_speedup,
+)
+from ..stats.report import render_table
+from ..workloads.spec2000 import profile
+
+#: The canonical evaluation mixes: the paper's latency-vs-stream pair
+#: and the heterogeneous four-thread desktop mix.
+PAIR_WORKLOAD: Tuple[str, ...] = ("vpr", "art")
+QUAD_WORKLOAD: Tuple[str, ...] = ("art", "vpr", "parser", "crafty")
+DEFAULT_WORKLOADS: Tuple[Tuple[str, ...], ...] = (PAIR_WORKLOAD, QUAD_WORKLOAD)
+
+
+@dataclass(frozen=True)
+class FairnessOutcome:
+    """One (workload, policy) cell of the comparison matrix."""
+
+    workload: Tuple[str, ...]
+    policy: str
+    result: SimResult
+    #: Per-thread slowdown, aligned with ``workload``.
+    slowdowns: Tuple[float, ...]
+
+    @property
+    def max_slowdown(self) -> float:
+        return max_slowdown(self.slowdowns)
+
+    @property
+    def unfairness(self) -> float:
+        return unfairness(self.slowdowns)
+
+    @property
+    def weighted_speedup(self) -> float:
+        return sum(1.0 / s for s in self.slowdowns)
+
+    @property
+    def harmonic_speedup(self) -> float:
+        return harmonic_speedup(self.slowdowns)
+
+    @property
+    def throughput_ipc(self) -> float:
+        return sum(t.ipc for t in self.result.threads)
+
+
+def run_fairness(
+    policies: Optional[Sequence[str]] = None,
+    workloads: Sequence[Sequence[str]] = DEFAULT_WORKLOADS,
+    cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[FairnessOutcome]:
+    """Measure every policy on every workload; return the full matrix.
+
+    ``policies`` defaults to *all* registered policies.  Solo baselines
+    run once per benchmark (unscaled — the slowdown denominator is the
+    thread owning the memory system) and are shared across policies.
+    The whole matrix is batched through :func:`run_many`, so
+    ``jobs > 1`` parallelizes the misses and reruns are cache hits.
+    """
+    if policies is None:
+        policies = registered_names()
+    workloads = [tuple(w) for w in workloads]
+    warmup = default_warmup(cycles)
+
+    specs = []
+    solo_names = {name for workload in workloads for name in workload}
+    for name in sorted(solo_names):
+        specs.append(solo_spec(name, 1.0, cycles, warmup, seed))
+    for workload in workloads:
+        for policy in policies:
+            specs.append(group_spec(workload, policy, cycles, warmup, seed))
+    run_many(specs, jobs=jobs)
+
+    alone_ipc: Dict[str, float] = {
+        name: run_solo(profile(name), scale=1.0, cycles=cycles, seed=seed)
+        .threads[0]
+        .ipc
+        for name in sorted(solo_names)
+    }
+
+    outcomes: List[FairnessOutcome] = []
+    for workload in workloads:
+        alone = [alone_ipc[name] for name in workload]
+        for policy in policies:
+            result = run_group(
+                [profile(name) for name in workload],
+                policy,
+                cycles=cycles,
+                seed=seed,
+            )
+            shared = [t.ipc for t in result.threads]
+            outcomes.append(
+                FairnessOutcome(
+                    workload=workload,
+                    policy=result.policy,
+                    result=result,
+                    slowdowns=tuple(slowdowns(alone, shared)),
+                )
+            )
+    return outcomes
+
+
+def fairness_payload(outcomes: Sequence[FairnessOutcome]) -> Dict:
+    """JSON-ready form of the comparison matrix (CLI ``--json``)."""
+    return {
+        "outcomes": [
+            {
+                "workload": list(o.workload),
+                "policy": o.policy,
+                "slowdowns": list(o.slowdowns),
+                "max_slowdown": o.max_slowdown,
+                "unfairness": o.unfairness,
+                "weighted_speedup": o.weighted_speedup,
+                "harmonic_speedup": o.harmonic_speedup,
+                "throughput_ipc": o.throughput_ipc,
+            }
+            for o in outcomes
+        ]
+    }
+
+
+def render_fairness(outcomes: Sequence[FairnessOutcome]) -> str:
+    """Ranked tables, one per workload (best max-slowdown first)."""
+    blocks: List[str] = []
+    seen: List[Tuple[str, ...]] = []
+    for outcome in outcomes:
+        if outcome.workload not in seen:
+            seen.append(outcome.workload)
+    for workload in seen:
+        ranked = sorted(
+            (o for o in outcomes if o.workload == workload),
+            key=lambda o: (o.max_slowdown, -o.weighted_speedup, o.policy),
+        )
+        title = "+".join(workload)
+        rows = [
+            (
+                f"{rank}.",
+                o.policy,
+                o.max_slowdown,
+                o.unfairness,
+                o.weighted_speedup,
+                o.harmonic_speedup,
+                " ".join(f"{s:.2f}" for s in o.slowdowns),
+            )
+            for rank, o in enumerate(ranked, start=1)
+        ]
+        blocks.append(
+            f"workload {title} (ranked by max slowdown; lower is fairer)\n"
+            + render_table(
+                (
+                    "rank",
+                    "policy",
+                    "max-slowdown",
+                    "unfairness",
+                    "weighted-speedup",
+                    "harmonic-speedup",
+                    "per-thread",
+                ),
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..policy import BASELINE_POLICY
 from ..stats.metrics import improvement
 from ..stats.report import render_kv, render_table
 from .pairs import POLICIES, PairOutcome, run_pairs
@@ -63,7 +64,7 @@ class Figure7Result:
         """Paper-style table plus summary."""
         headers = ["subject"]
         for policy in self.policies:
-            if policy != "FR-FCFS":
+            if policy != BASELINE_POLICY:
                 headers.append(f"{policy} perf Δ")
         for policy in self.policies:
             headers.append(f"{policy} bus")
@@ -74,14 +75,14 @@ class Figure7Result:
         for subject, per in by_subject.items():
             cells: List[object] = [subject]
             for policy in self.policies:
-                if policy != "FR-FCFS":
+                if policy != BASELINE_POLICY:
                     cells.append(f"{per[policy].improvement_over_frfcfs:+.1%}")
             for policy in self.policies:
                 cells.append(per[policy].data_bus_utilization)
             table.append(cells)
         pairs = []
         for policy in self.policies:
-            if policy != "FR-FCFS":
+            if policy != BASELINE_POLICY:
                 pairs.append(
                     (f"{policy} mean improvement", self.mean_improvement(policy))
                 )
@@ -111,7 +112,7 @@ def run_figure7(
     baseline: Dict[str, float] = {
         o.subject: o.pair_harmonic_mean
         for o in outcomes
-        if o.policy == "FR-FCFS"
+        if o.policy == BASELINE_POLICY
     }
     rows = [
         Figure7Row(

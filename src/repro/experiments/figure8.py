@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..policy import BASELINE_POLICY
 from ..stats.metrics import improvement
 from ..stats.report import render_kv, render_table
 from .quads import QuadOutcome, run_quads
@@ -47,7 +48,9 @@ class Figure8Result:
         """Worst thread's normalized IPC under a policy."""
         return min(t.norm_ipc for t in self.threads if t.policy == policy)
 
-    def workload_improvement(self, index: int, against: str = "FR-FCFS") -> Dict[str, float]:
+    def workload_improvement(
+        self, index: int, against: str = BASELINE_POLICY
+    ) -> Dict[str, float]:
         """Harmonic-mean performance delta per policy vs ``against``."""
         def hmean(policy: str) -> float:
             rows = self.for_workload(index, policy)
@@ -85,7 +88,7 @@ class Figure8Result:
             for policy, delta in self.workload_improvement(i).items():
                 pairs.append((f"WL{i + 1} {policy} perf delta", f"{delta:+.1%}"))
         for policy in self.policies:
-            if policy != "FR-FCFS":
+            if policy != BASELINE_POLICY:
                 pairs.append(
                     (f"{policy} mean perf delta", f"{self.mean_improvement(policy):+.1%}")
                 )

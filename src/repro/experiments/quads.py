@@ -17,9 +17,14 @@ from typing import Optional
 from ..sim.parallel import group_spec, run_many, solo_spec
 from ..sim.runner import DEFAULT_CYCLES, default_warmup, run_group, run_solo
 from ..sim.system import SimResult
+from ..policy import canonical
 from ..workloads.spec2000 import four_proc_workloads
 
-QUAD_POLICIES: Sequence[str] = ("FR-FCFS", "FQ-VFTF")
+#: Figures 8/9 compare the baseline against the paper's headline
+#: scheduler; registry-resolved so a rename fails loudly here.
+QUAD_POLICIES: Sequence[str] = tuple(
+    canonical(name) for name in ("FR-FCFS", "FQ-VFTF")
+)
 
 
 @dataclass(frozen=True)

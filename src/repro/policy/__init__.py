@@ -1,0 +1,46 @@
+"""repro.policy — the pluggable scheduler-policy subsystem.
+
+* :mod:`repro.policy.base` — the :class:`SchedulingPolicy` protocol
+  every policy implements (priority key, lifecycle/epoch hooks, the
+  event-engine wake-time contract, optional bank-commit rule).
+* :mod:`repro.policy.registry` — the name → factory registry behind
+  ``SystemConfig.policy``, the CLI, the parallel runner, and the cache
+  fingerprints; raises a listing :class:`ValueError` on unknown names.
+* :mod:`repro.policy.bliss` — the Blacklisting scheduler (BLISS).
+* :mod:`repro.policy.slowdown` — MISE-style slowdown estimation and
+  the slowdown-aware scheduler.
+
+The paper's own policies live in :mod:`repro.core.policies` (they are
+:class:`SchedulingPolicy` subclasses registered here); adding a new
+policy needs only a subclass and a :func:`register` call — see
+"Scheduling policies" in ``docs/INTERNALS.md`` for a worked example.
+"""
+
+from .base import SchedulingPolicy
+from .bliss import BlissPolicy
+from .registry import (
+    BASELINE_POLICY,
+    HEADLINE_POLICIES,
+    PolicyContext,
+    canonical,
+    make_policy,
+    register,
+    registered_names,
+    resolve,
+)
+from .slowdown import SlowdownEstimator, SlowdownPolicy
+
+__all__ = [
+    "BASELINE_POLICY",
+    "BlissPolicy",
+    "HEADLINE_POLICIES",
+    "PolicyContext",
+    "SchedulingPolicy",
+    "SlowdownEstimator",
+    "SlowdownPolicy",
+    "canonical",
+    "make_policy",
+    "register",
+    "registered_names",
+    "resolve",
+]

@@ -1,0 +1,175 @@
+"""Name → factory registry for scheduling policies.
+
+Every policy reachable from a :class:`~repro.sim.config.SystemConfig`
+— through the CLI, the experiment drivers, the parallel runner, or the
+cache fingerprints — resolves here.  Factories receive a
+:class:`PolicyContext` (the policy-relevant slice of the system
+configuration) and return a **fresh** :class:`SchedulingPolicy`
+instance, so stateful policies get per-controller state while the
+paper's stateless policies keep returning their shared singletons.
+
+Lookup is case-insensitive with ``_``/``-`` folding (``fq_vftf`` ≡
+``FQ-VFTF``); a typo raises :class:`ValueError` listing every
+registered name.  The built-in policies register lazily on first
+lookup (avoiding import cycles with :mod:`repro.core.policies`);
+external code may :func:`register` additional policies at any time —
+that is the whole point of the subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from .base import SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - types only (avoids import cycle)
+    from ..dram.timing import DDR2Timing
+
+
+#: The registered name every improvement is measured against.
+BASELINE_POLICY = "FR-FCFS"
+
+#: The evaluation set of `repro-fqms compare` smoke assertions and the
+#: differential check harness: the paper's three headline schedulers
+#: plus the two post-paper policies.
+HEADLINE_POLICIES: Tuple[str, ...] = (
+    "FR-FCFS",
+    "FR-VFTF",
+    "FQ-VFTF",
+    "BLISS",
+    "MISE",
+)
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """The policy-relevant slice of a system configuration.
+
+    Factories read only what they need; adding a knob here (and to
+    :class:`~repro.sim.config.SystemConfig`, whose ``asdict`` feeds the
+    result-cache fingerprint) is the whole recipe for a new
+    policy-specific parameter.
+    """
+
+    num_threads: int
+    timing: "DDR2Timing"
+    inversion_bound: Optional[int] = None
+    bliss_threshold: int = 4
+    bliss_interval: int = 10_000
+    slowdown_interval: int = 5_000
+
+
+PolicyFactory = Callable[[PolicyContext], SchedulingPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+_ALIASES: Dict[str, str] = {}
+_BOOTSTRAPPED = False
+
+
+def _normalize(name: str) -> str:
+    return name.upper().replace("_", "-")
+
+
+def register(
+    name: str,
+    factory: PolicyFactory,
+    aliases: Tuple[str, ...] = (),
+) -> None:
+    """Register ``factory`` under ``name`` (and optional aliases).
+
+    Re-registering a name replaces the previous factory (latest wins),
+    which keeps test fixtures and notebooks simple.
+    """
+    key = _normalize(name)
+    _REGISTRY[key] = factory
+    for alias in aliases:
+        _ALIASES[_normalize(alias)] = key
+
+
+def _ensure_registered() -> None:
+    """Register the built-in policies exactly once (lazy: import cycles)."""
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    from ..core import policies as paper
+
+    def _singleton(policy: SchedulingPolicy) -> PolicyFactory:
+        return lambda ctx: policy
+
+    for policy in paper.POLICIES.values():
+        register(policy.name, _singleton(policy))
+
+    from .bliss import BlissPolicy
+
+    register(
+        "BLISS",
+        lambda ctx: BlissPolicy(
+            ctx.num_threads,
+            threshold=ctx.bliss_threshold,
+            clearing_interval=ctx.bliss_interval,
+        ),
+    )
+
+    from .slowdown import SlowdownPolicy
+
+    register(
+        "MISE",
+        lambda ctx: SlowdownPolicy(
+            ctx.num_threads,
+            ctx.timing,
+            interval=ctx.slowdown_interval,
+        ),
+        aliases=("SLOWDOWN",),
+    )
+
+
+def registered_names() -> List[str]:
+    """Every registered canonical policy name, sorted."""
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def canonical(name: str) -> str:
+    """Resolve ``name`` (case-insensitive, aliases folded) to its
+    canonical registered form; :class:`ValueError` lists the registry
+    on a miss."""
+    _ensure_registered()
+    key = _normalize(name)
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; registered policies: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
+    return key
+
+
+def resolve(name: str) -> PolicyFactory:
+    """The factory registered under ``name`` (with canonicalization)."""
+    return _REGISTRY[canonical(name)]
+
+
+def make_policy(config) -> SchedulingPolicy:
+    """Build the policy instance a :class:`SystemConfig` describes.
+
+    Called once per controller, so stateful policies are instantiated
+    per channel.  An explicit ``inversion_bound`` override on an
+    FQ-family policy resolves to the bounded FQ-VFTF variant, exactly
+    as the pre-registry resolver did (ablation A's semantics).
+    """
+    context = PolicyContext(
+        num_threads=config.num_cores,
+        timing=config.timing,
+        inversion_bound=config.inversion_bound,
+        bliss_threshold=config.bliss_threshold,
+        bliss_interval=config.bliss_interval,
+        slowdown_interval=config.slowdown_interval,
+    )
+    policy = resolve(config.policy)(context)
+    if context.inversion_bound is not None and policy.fq_bank_rule:
+        from ..core.policies import fq_vftf_with_bound
+
+        policy = fq_vftf_with_bound(context.inversion_bound)
+    return policy

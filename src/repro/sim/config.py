@@ -51,6 +51,11 @@ class SystemConfig:
             and rows via the address map, as in the paper).
         inversion_bound: Override the FQ bank rule's bound x (default
             t_ras, the paper's choice).
+        bliss_threshold: BLISS — consecutive served requests before a
+            thread is blacklisted.
+        bliss_interval: BLISS — cycles between blacklist clears.
+        slowdown_interval: MISE — cycles between slowdown-estimate
+            refreshes.
         row_policy: "closed" (paper's choice — precharge a row once its
             pending accesses drain) or "open" (leave rows open until a
             conflict or refresh forces them shut).
@@ -83,6 +88,9 @@ class SystemConfig:
     seed: int = 0
     thread_address_stride: int = 1 << 34
     inversion_bound: Optional[int] = None
+    bliss_threshold: int = 4
+    bliss_interval: int = 10_000
+    slowdown_interval: int = 5_000
     row_policy: str = "closed"
     write_drain: str = "fcfs"
     engine: str = field(default_factory=default_engine)
@@ -107,6 +115,18 @@ class SystemConfig:
         if self.shares is not None and len(self.shares) != self.num_cores:
             raise ValueError(
                 f"{len(self.shares)} shares for {self.num_cores} cores"
+            )
+        if self.bliss_threshold < 1:
+            raise ValueError(
+                f"bliss_threshold must be >= 1, got {self.bliss_threshold}"
+            )
+        if self.bliss_interval < 1:
+            raise ValueError(
+                f"bliss_interval must be >= 1, got {self.bliss_interval}"
+            )
+        if self.slowdown_interval < 1:
+            raise ValueError(
+                f"slowdown_interval must be >= 1, got {self.slowdown_interval}"
             )
 
     def unloaded_read_latency(self) -> int:
@@ -143,6 +163,9 @@ class SystemConfig:
             seed=self.seed,
             thread_address_stride=self.thread_address_stride,
             inversion_bound=self.inversion_bound,
+            bliss_threshold=self.bliss_threshold,
+            bliss_interval=self.bliss_interval,
+            slowdown_interval=self.slowdown_interval,
             row_policy=self.row_policy,
             write_drain=self.write_drain,
             engine=self.engine,

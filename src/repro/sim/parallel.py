@@ -28,6 +28,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..policy import BASELINE_POLICY, canonical
 from ..workloads.spec2000 import profile as lookup_profile
 from ..workloads.synthetic import BenchmarkProfile
 from . import cache as result_cache
@@ -59,12 +60,18 @@ class RunSpec:
             raise ValueError(f"kind must be 'solo' or 'group', got {self.kind!r}")
         if self.kind == "solo" and len(self.names) != 1:
             raise ValueError("solo specs take exactly one benchmark name")
+        # Canonicalize through the registry: a typo fails here with the
+        # full list of registered names (not deep inside a worker), and
+        # spelling variants ("fq_vftf" vs "FQ-VFTF") dedup to one run.
+        object.__setattr__(self, "policy", canonical(self.policy))
 
     def build(self) -> Tuple[SystemConfig, List[BenchmarkProfile]]:
         """Materialize the (config, profiles) pair this spec describes."""
         profiles = [lookup_profile(name) for name in self.names]
         if self.kind == "solo":
-            config = SystemConfig(num_cores=1, policy="FR-FCFS", seed=self.seed)
+            config = SystemConfig(
+                num_cores=1, policy=BASELINE_POLICY, seed=self.seed
+            )
             if self.scale != 1.0:
                 config = config.scaled_baseline(self.scale)
         else:
@@ -84,7 +91,7 @@ class RunSpec:
 def solo_spec(
     name: str, scale: float, cycles: int, warmup: int, seed: int
 ) -> RunSpec:
-    return RunSpec("solo", (name,), "FR-FCFS", scale, cycles, warmup, seed)
+    return RunSpec("solo", (name,), BASELINE_POLICY, scale, cycles, warmup, seed)
 
 
 def group_spec(

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.shares import equal_shares
+from ..policy import BASELINE_POLICY
 from ..workloads.spec2000 import profile as lookup_profile
 from ..workloads.synthetic import BenchmarkProfile
 from . import cache as result_cache
@@ -167,7 +168,7 @@ def run_solo(
     if warmup is None:
         warmup = default_warmup(cycles)
     if not _registered(profile):
-        config = SystemConfig(num_cores=1, policy="FR-FCFS", seed=seed)
+        config = SystemConfig(num_cores=1, policy=BASELINE_POLICY, seed=seed)
         if scale != 1.0:
             config = config.scaled_baseline(scale)
         return CmpSystem(config, [profile]).run(cycles, warmup=warmup)

@@ -21,10 +21,10 @@ from ..check import RunChecker, checks_enabled
 from ..controller.address_map import AddressMap
 from ..controller.controller import MemoryController
 from ..controller.request import MemoryRequest, RequestKind
-from ..core.policies import Policy, fq_vftf_with_bound, get_policy
 from ..cpu.core_model import OooCore
 from ..cpu.hierarchy import CacheHierarchy
 from ..dram.dram_system import DramSystem
+from ..policy import make_policy
 from ..telemetry import RunTelemetry, trace_enabled
 from .config import SystemConfig
 
@@ -114,11 +114,12 @@ class CmpSystem:
             num_channels=config.num_channels,
             xor_bank=config.xor_bank,
         )
-        policy = self._resolve_policy(config)
         # One independent DRAM device + controller per channel (the
         # paper evaluates a single channel; multi-channel is its stated
         # future work).  Each thread holds its share φ of *every*
         # channel, so per-channel VTMS state is the natural extension.
+        # Stateful policies (BLISS, MISE) get a fresh instance per
+        # channel — their bookkeeping is per-controller.
         self.drams: List[DramSystem] = []
         self.controllers: List[MemoryController] = []
         for _ in range(config.num_channels):
@@ -134,7 +135,7 @@ class CmpSystem:
                     dram=dram,
                     address_map=self.address_map,
                     num_threads=config.num_cores,
-                    policy=policy,
+                    policy=make_policy(config),
                     shares=config.shares,
                     read_entries_per_thread=config.read_entries_per_thread,
                     write_entries_per_thread=config.write_entries_per_thread,
@@ -225,13 +226,6 @@ class CmpSystem:
                     scheduler.telemetry = telemetry
             for core in self.cores:
                 core.telemetry = telemetry
-
-    @staticmethod
-    def _resolve_policy(config: SystemConfig) -> Policy:
-        policy = get_policy(config.policy)
-        if config.inversion_bound is not None and policy.fq_bank_rule:
-            policy = fq_vftf_with_bound(config.inversion_bound)
-        return policy
 
     #: Memoized prewarm fill sequences, keyed by (workload, seed,
     #: base address, line size).  The stream is a pure function of the

@@ -1,5 +1,12 @@
 """Evaluation metrics and reporting."""
 
+from .fairness import (
+    harmonic_speedup,
+    max_slowdown,
+    slowdowns,
+    unfairness,
+    weighted_speedup,
+)
 from .metrics import (
     fair_share_targets,
     jain_index,
@@ -13,10 +20,15 @@ from .report import render_kv, render_table, sparkline
 
 __all__ = [
     "fair_share_targets",
+    "harmonic_speedup",
     "jain_index",
     "harmonic_mean",
     "improvement",
+    "max_slowdown",
     "normalized",
+    "slowdowns",
+    "unfairness",
+    "weighted_speedup",
     "QosReport",
     "QosVerdict",
     "qos_report",

@@ -1,0 +1,85 @@
+"""Slowdown-based fairness metrics (MISE / BLISS evaluation style).
+
+The post-paper scheduling literature (STFM, MISE, BLISS) evaluates
+fairness through per-thread *slowdown* — alone-run performance over
+shared-run performance — rather than the FQMS paper's variance of
+normalized target utilization.  This module provides that metric
+family, computed offline from measured IPCs (shared run + per-thread
+solo runs on the same window), so any registered policy can be ranked
+on the same scale:
+
+* per-thread slowdown        IPC_alone / IPC_shared      (>= 1 ideally)
+* maximum slowdown           the fairness headline (lower is better)
+* unfairness index           max slowdown / min slowdown (1.0 = even)
+* weighted speedup           Σ IPC_shared / IPC_alone    (throughput)
+* harmonic speedup           n / Σ slowdown              (balance)
+
+The *online* estimator the MISE scheduling policy uses at run time
+lives in :mod:`repro.policy.slowdown`; this module is the measured
+ground truth the estimator approximates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def slowdowns(
+    alone_ipcs: Sequence[float], shared_ipcs: Sequence[float]
+) -> List[float]:
+    """Per-thread slowdown: alone-run IPC over shared-run IPC.
+
+    A thread that runs as fast shared as alone scores 1.0; a thread
+    starved by interference scores high.  Shared IPCs must be positive
+    (a thread that retired nothing in the measured window has no
+    defined slowdown — widen the window instead of special-casing).
+    """
+    if len(alone_ipcs) != len(shared_ipcs):
+        raise ValueError(
+            f"{len(alone_ipcs)} alone IPCs vs {len(shared_ipcs)} shared IPCs"
+        )
+    if not alone_ipcs:
+        raise ValueError("slowdowns of no threads")
+    for ipc in alone_ipcs:
+        if ipc <= 0:
+            raise ValueError(f"alone IPC must be positive, got {ipc}")
+    for ipc in shared_ipcs:
+        if ipc <= 0:
+            raise ValueError(f"shared IPC must be positive, got {ipc}")
+    return [alone / shared for alone, shared in zip(alone_ipcs, shared_ipcs)]
+
+
+def max_slowdown(values: Sequence[float]) -> float:
+    """The worst thread's slowdown — the fairness headline number."""
+    if not values:
+        raise ValueError("max slowdown of no values")
+    return max(values)
+
+
+def unfairness(values: Sequence[float]) -> float:
+    """Max slowdown over min slowdown; 1.0 means perfectly even."""
+    if not values:
+        raise ValueError("unfairness of no values")
+    lowest = min(values)
+    if lowest <= 0:
+        raise ValueError(f"slowdowns must be positive, got {lowest}")
+    return max(values) / lowest
+
+
+def weighted_speedup(
+    alone_ipcs: Sequence[float], shared_ipcs: Sequence[float]
+) -> float:
+    """System throughput: Σ IPC_shared / IPC_alone (n = no interference)."""
+    return sum(
+        1.0 / s for s in slowdowns(alone_ipcs, shared_ipcs)
+    )
+
+
+def harmonic_speedup(values: Sequence[float]) -> float:
+    """Balance metric: n / Σ slowdown — rewards fairness *and* speed."""
+    if not values:
+        raise ValueError("harmonic speedup of no values")
+    total = sum(values)
+    if total <= 0:
+        raise ValueError(f"slowdowns must be positive, got {values!r}")
+    return len(values) / total

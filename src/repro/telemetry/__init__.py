@@ -29,7 +29,7 @@ this package is a DET006 determinism-lint error.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from .lifecycle import (
     DEFAULT_RING_CAPACITY,
@@ -144,6 +144,14 @@ class RunTelemetry:
         #: Channel-arbitration contention counters.
         self.arbitration_rounds = 0
         self.contended_arbitrations = 0
+        #: What the scheduling policy's priority-key components mean,
+        #: in comparison order — labels exported trace viewers show
+        #: next to per-request keys ("virtual_finish_time" vs
+        #: "blacklisted" vs "neg_slowdown", ...).
+        self.policy_name: str = system.controller.policy.name
+        self.policy_key_fields: Tuple[str, ...] = tuple(
+            system.controller.policy.key_field_names()
+        )
 
     # -- engine integration ------------------------------------------------
 

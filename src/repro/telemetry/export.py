@@ -49,7 +49,10 @@ def _metadata(pid: int, tid: int, name: str, kind: str) -> Dict:
     }
 
 
-def _lifecycle_slice(record: RequestLifecycle) -> Optional[Dict]:
+def _lifecycle_slice(
+    record: RequestLifecycle,
+    key_fields: Sequence[str] = (),
+) -> Optional[Dict]:
     """One ``"X"`` complete slice for a closed lifecycle."""
     start = record.submit_cycle
     latency = record.latency()
@@ -79,6 +82,14 @@ def _lifecycle_slice(record: RequestLifecycle) -> Optional[Dict]:
     }
     if record.priority_key:
         args["priority_key"] = [repr(part) for part in record.priority_key]
+        if key_fields:
+            # Label each key component with the policy's field name
+            # ("virtual_finish_time" / "blacklisted" / "neg_slowdown"
+            # / ...) so traces from different policies read themselves.
+            args["priority_key_labeled"] = {
+                field: repr(part)
+                for field, part in zip(key_fields, record.priority_key)
+            }
     name = f"{record.kind}@b{record.bank} {outcome}"
     if record.inverted:
         name += " !inv"
@@ -114,9 +125,10 @@ def perfetto_trace(
         events.append(
             _metadata(THREAD_PID, t, f"T{t} {names[t]}", "thread_name")
         )
+    key_fields = tuple(getattr(telemetry, "policy_key_fields", ()))
     for t in range(num_threads):
         for record in telemetry.lifecycles(t):
-            slice_event = _lifecycle_slice(record)
+            slice_event = _lifecycle_slice(record, key_fields)
             if slice_event is not None:
                 events.append(slice_event)
     for sample in telemetry.samples():
@@ -173,6 +185,8 @@ def perfetto_trace(
             "source": label,
             "time_unit": "dram_cycles",
             "threads": list(names),
+            "policy": getattr(telemetry, "policy_name", None),
+            "policy_key_fields": list(key_fields),
             "truncation": telemetry.summary(),
         },
     }

@@ -58,9 +58,18 @@ def render_trace_report(
     fair_shares: Optional[Sequence[float]] = None,
     tolerance: float = DEFAULT_TOLERANCE,
     title: str = "telemetry report",
+    policy: Optional[str] = None,
+    policy_key_fields: Sequence[str] = (),
 ) -> str:
     """Render the full dashboard as one printable string."""
     lines: List[str] = [title, "=" * len(title)]
+    if policy is not None:
+        key_note = (
+            f" (priority key: {', '.join(policy_key_fields)})"
+            if policy_key_fields
+            else ""
+        )
+        lines.append(f"policy {policy}{key_note}")
     if not samples:
         lines.append("(no interval samples recorded)")
         return "\n".join(lines)

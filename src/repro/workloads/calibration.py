@@ -20,11 +20,14 @@ from .synthetic import BenchmarkProfile
 def solo_utilization(
     profile: BenchmarkProfile, cycles: int = 30_000, warmup: int = 8_000
 ) -> float:
-    """Measure a profile's solo data-bus utilization (FR-FCFS, 1 core)."""
+    """Measure a profile's solo data-bus utilization (baseline policy, 1 core)."""
+    from ..policy import BASELINE_POLICY
     from ..sim.config import SystemConfig
     from ..sim.system import CmpSystem
 
-    system = CmpSystem(SystemConfig(num_cores=1, policy="FR-FCFS"), [profile])
+    system = CmpSystem(
+        SystemConfig(num_cores=1, policy=BASELINE_POLICY), [profile]
+    )
     result = system.run(cycles, warmup=warmup)
     return result.data_bus_utilization
 

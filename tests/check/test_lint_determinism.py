@@ -185,6 +185,48 @@ class TestTelemetryImports:
         assert findings == [], "\n".join(str(f) for f in findings)
 
 
+def policy_findings_for(snippet):
+    source = textwrap.dedent(snippet)
+    return lint_source(source, Path("src/repro/policy/bliss.py"))
+
+
+class TestPolicyImports:
+    def test_import_time_in_policy_package(self):
+        findings = policy_findings_for("import time")
+        assert [f.rule for f in findings] == ["DET007"]
+
+    def test_from_datetime_import_in_policy_package(self):
+        findings = policy_findings_for("from datetime import datetime")
+        assert [f.rule for f in findings] == ["DET007"]
+
+    def test_import_random_in_policy_package(self):
+        findings = policy_findings_for("import random")
+        assert [f.rule for f in findings] == ["DET007"]
+
+    def test_submodule_import_is_flagged(self):
+        findings = policy_findings_for("import datetime.timezone")
+        assert [f.rule for f in findings] == ["DET007"]
+
+    def test_same_import_outside_policy_is_fine(self):
+        source = textwrap.dedent("import time")
+        assert lint_source(source, Path("src/repro/sim/system.py")) == []
+
+    def test_relative_imports_are_fine(self):
+        assert policy_findings_for("""
+            from .base import SchedulingPolicy
+            from ..controller.request import MemoryRequest
+        """) == []
+
+    def test_suppression_applies(self):
+        assert policy_findings_for(
+            "import time  # det: allow(host-side benchmark harness)"
+        ) == []
+
+    def test_policy_package_is_clean(self):
+        findings = lint_paths([REPO_ROOT / "src" / "repro" / "policy"])
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+
 class TestSuppression:
     def test_det_allow_comment_silences_the_line(self):
         assert rules_for("""

@@ -1,0 +1,93 @@
+"""Fairness harness (`repro-fqms compare`): plumbing and orderings."""
+
+import pytest
+
+from repro.experiments.fairness import (
+    PAIR_WORKLOAD,
+    QUAD_WORKLOAD,
+    fairness_payload,
+    render_fairness,
+    run_fairness,
+)
+from repro.sim.runner import clear_solo_cache
+
+CYCLES = 12_000
+POLICIES = ("FR-FCFS", "FQ-VFTF", "BLISS")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_solo_cache()
+    yield
+    clear_solo_cache()
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_fairness(policies=POLICIES, cycles=CYCLES)
+
+
+def _by_policy(outcomes, workload):
+    return {o.policy: o for o in outcomes if o.workload == workload}
+
+
+class TestMatrix:
+    def test_full_matrix_is_produced(self, outcomes):
+        assert len(outcomes) == len(POLICIES) * 2  # pair + quad
+        for workload in (PAIR_WORKLOAD, QUAD_WORKLOAD):
+            cells = _by_policy(outcomes, workload)
+            assert set(cells) == set(POLICIES)
+            for outcome in cells.values():
+                assert len(outcome.slowdowns) == len(workload)
+                assert all(s > 0 for s in outcome.slowdowns)
+
+    def test_metrics_are_consistent(self, outcomes):
+        for o in outcomes:
+            assert o.max_slowdown == max(o.slowdowns)
+            assert o.unfairness >= 1.0
+            assert 0 < o.harmonic_speedup <= o.weighted_speedup
+            assert o.throughput_ipc > 0
+
+
+class TestFairnessOrdering:
+    """The headline claim: fair policies cut the worst slowdown."""
+
+    @pytest.mark.parametrize("challenger", ["FQ-VFTF", "BLISS"])
+    @pytest.mark.parametrize(
+        "workload", [PAIR_WORKLOAD, QUAD_WORKLOAD], ids=["pair", "quad"]
+    )
+    def test_challenger_beats_frfcfs_max_slowdown(
+        self, outcomes, challenger, workload
+    ):
+        cells = _by_policy(outcomes, workload)
+        assert (
+            cells[challenger].max_slowdown < cells["FR-FCFS"].max_slowdown
+        )
+
+
+class TestRendering:
+    def test_payload_reports_all_five_metrics(self, outcomes):
+        payload = fairness_payload(outcomes)
+        assert len(payload["outcomes"]) == len(outcomes)
+        for row in payload["outcomes"]:
+            for metric in (
+                "slowdowns",
+                "max_slowdown",
+                "unfairness",
+                "weighted_speedup",
+                "harmonic_speedup",
+                "throughput_ipc",
+            ):
+                assert metric in row
+
+    def test_render_ranks_by_max_slowdown(self, outcomes):
+        body = render_fairness(outcomes)
+        for policy in POLICIES:
+            assert policy in body
+        pair_block, quad_block = body.split("\n\n")
+        # FR-FCFS is the unfairest of the three on both mixes, so it
+        # must rank last in both tables.
+        for block in (pair_block, quad_block):
+            lines = [ln for ln in block.splitlines() if ln.lstrip()[:1].isdigit()]
+            assert len(lines) == len(POLICIES)
+            assert "FR-FCFS" in lines[-1]

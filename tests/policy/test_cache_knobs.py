@@ -1,0 +1,75 @@
+"""Per-policy knobs must be cache-significant.
+
+The result cache keys on the *entire* ``SystemConfig`` (via
+``dataclasses.asdict``), so any new policy knob automatically enters
+the fingerprint.  These tests pin that property: changing a knob that
+changes scheduling decisions must force a cache miss — a stale hit
+here would silently serve results from a differently-tuned policy.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.cache import fingerprint
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import group_spec
+from repro.workloads.spec2000 import profile
+
+CYCLES = 4_000
+WARMUP = 1_000
+
+
+@pytest.fixture(autouse=True)
+def pinned_salt(monkeypatch):
+    """Hold the code salt constant so only the knob under test varies."""
+    monkeypatch.setenv("REPRO_CACHE_SALT", "knob-test")
+
+
+@pytest.mark.parametrize(
+    "policy, knob, value",
+    [
+        ("BLISS", "bliss_threshold", 8),
+        ("BLISS", "bliss_interval", 2_500),
+        ("MISE", "slowdown_interval", 640),
+        ("FQ-VFTF", "inversion_bound", 48),
+    ],
+)
+def test_policy_knob_changes_force_a_cache_miss(policy, knob, value):
+    profiles = [profile("vpr"), profile("art")]
+    base = SystemConfig(num_cores=2, policy=policy, seed=0)
+    tuned = dataclasses.replace(base, **{knob: value})
+    assert getattr(base, knob) != value, "pick a non-default knob value"
+    a = fingerprint(base, profiles, CYCLES, WARMUP, 0)
+    b = fingerprint(tuned, profiles, CYCLES, WARMUP, 0)
+    assert a != b
+
+
+def test_knob_defaults_fingerprint_identically():
+    """Spelling out the defaults is not a different configuration."""
+    profiles = [profile("vpr")]
+    implicit = SystemConfig(num_cores=1, policy="BLISS")
+    explicit = SystemConfig(
+        num_cores=1,
+        policy="BLISS",
+        bliss_threshold=4,
+        bliss_interval=10_000,
+        slowdown_interval=5_000,
+    )
+    assert fingerprint(implicit, profiles, CYCLES, WARMUP, 0) == fingerprint(
+        explicit, profiles, CYCLES, WARMUP, 0
+    )
+
+
+def test_run_specs_canonicalize_policy_names():
+    """Specs normalize spellings at construction, so ``fq_vftf`` and
+    ``FQ-VFTF`` dedupe to one batch entry (and one cache key)."""
+    a = group_spec(("vpr", "art"), "fq_vftf", CYCLES, WARMUP, 0)
+    b = group_spec(("vpr", "art"), "FQ-VFTF", CYCLES, WARMUP, 0)
+    assert a == b
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_run_spec_rejects_unknown_policy_early():
+    with pytest.raises(ValueError, match="registered policies"):
+        group_spec(("vpr", "art"), "FQ-VTFF", CYCLES, WARMUP, 0)

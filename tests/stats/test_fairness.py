@@ -1,0 +1,72 @@
+"""Slowdown-based fairness metrics: known values and error paths."""
+
+import pytest
+
+from repro.stats.fairness import (
+    harmonic_speedup,
+    max_slowdown,
+    slowdowns,
+    unfairness,
+    weighted_speedup,
+)
+
+
+class TestSlowdowns:
+    def test_known_values(self):
+        assert slowdowns([2.0, 1.0], [1.0, 0.5]) == [2.0, 2.0]
+
+    def test_no_interference_is_unity(self):
+        assert slowdowns([1.5], [1.5]) == [1.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="alone IPCs vs"):
+            slowdowns([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no threads"):
+            slowdowns([], [])
+
+    @pytest.mark.parametrize(
+        "alone, shared", [([0.0], [1.0]), ([1.0], [0.0]), ([1.0], [-0.5])]
+    )
+    def test_nonpositive_ipcs_rejected(self, alone, shared):
+        with pytest.raises(ValueError, match="must be positive"):
+            slowdowns(alone, shared)
+
+
+class TestAggregates:
+    def test_max_slowdown_is_the_worst_thread(self):
+        assert max_slowdown([1.2, 3.5, 1.0]) == 3.5
+
+    def test_unfairness_is_max_over_min(self):
+        assert unfairness([1.0, 4.0, 2.0]) == 4.0
+        assert unfairness([2.0, 2.0]) == 1.0  # perfectly even
+
+    def test_weighted_speedup_known_values(self):
+        # Slowdowns 2.0 and 2.0 -> each thread contributes 0.5.
+        assert weighted_speedup([2.0, 1.0], [1.0, 0.5]) == pytest.approx(1.0)
+        # No interference: weighted speedup equals thread count.
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_harmonic_speedup_known_values(self):
+        assert harmonic_speedup([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_speedup([2.0, 2.0]) == pytest.approx(0.5)
+        # Unlike weighted speedup, it is the harmonic mean of the
+        # per-thread speedups: one starved thread drags it down more
+        # than one fast thread lifts it.
+        assert harmonic_speedup([1.0, 4.0]) < weighted_speedup(
+            [1.0, 4.0], [1.0, 1.0]
+        ) / 2
+
+    @pytest.mark.parametrize(
+        "metric", [max_slowdown, unfairness, harmonic_speedup]
+    )
+    def test_empty_rejected(self, metric):
+        with pytest.raises(ValueError):
+            metric([])
+
+    def test_nonpositive_slowdowns_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            unfairness([1.0, 0.0])
+        with pytest.raises(ValueError, match="must be positive"):
+            harmonic_speedup([0.0])

@@ -27,6 +27,11 @@ DET006  time/RNG imports inside ``src/repro/telemetry/`` — exporters
         must derive every timestamp from simulated cycles, so merely
         *importing* ``time``, ``datetime``, or ``random`` there is an
         error (stricter than DET001/DET002, which flag only calls).
+DET007  time/RNG imports inside ``src/repro/policy/`` — scheduling
+        decisions must be pure functions of simulated state (the
+        result cache, the event engine's bit-identity proof, and the
+        golden migration tests all assume it), so importing ``time``,
+        ``datetime``, or ``random`` in a policy module is an error.
 
 Suppress a deliberate use with a trailing ``# det: allow(reason)``
 comment on the offending line.
@@ -80,6 +85,14 @@ TELEMETRY_BANNED_MODULES = {"time", "datetime", "random"}
 
 #: Path component marking a file as part of the telemetry package.
 TELEMETRY_PACKAGE = "telemetry"
+
+#: Modules the policy package may not import at all (DET007): priority
+#: keys and lifecycle hooks must be pure functions of simulated state,
+#: or cached results and the event engine's skip proof are invalid.
+POLICY_BANNED_MODULES = {"time", "datetime", "random"}
+
+#: Path component marking a file as part of the policy package.
+POLICY_PACKAGE = "policy"
 
 
 class Finding:
@@ -164,6 +177,7 @@ class _HazardVisitor(ast.NodeVisitor):
         self.path = path
         self.set_names = set_names
         self.in_telemetry = TELEMETRY_PACKAGE in path.parts
+        self.in_policy = POLICY_PACKAGE in path.parts
         self.findings: List[Finding] = []
         #: Comprehension generators consumed by an order-insensitive
         #: reducer (``min(x for x in s)`` and ``min({...})`` shapes).
@@ -220,7 +234,7 @@ class _HazardVisitor(ast.NodeVisitor):
                     self._blessed.add(id(arg))
         self.generic_visit(node)
 
-    # -- DET006: banned imports in the telemetry package ---------------------
+    # -- DET006/DET007: banned imports in the telemetry/policy packages -----
 
     def _check_telemetry_import(self, node: ast.AST, module: str) -> None:
         root = module.split(".", 1)[0]
@@ -233,15 +247,31 @@ class _HazardVisitor(ast.NodeVisitor):
                 "cycles, never host time or randomness",
             )
 
+    def _check_policy_import(self, node: ast.AST, module: str) -> None:
+        root = module.split(".", 1)[0]
+        if root in POLICY_BANNED_MODULES:
+            self._emit(
+                node,
+                "DET007",
+                f"import of '{module}' inside the policy package; "
+                "scheduling decisions must be pure functions of "
+                "simulated state, never host time or randomness",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         if self.in_telemetry:
             for alias in node.names:
                 self._check_telemetry_import(node, alias.name)
+        if self.in_policy:
+            for alias in node.names:
+                self._check_policy_import(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if self.in_telemetry and node.module is not None and node.level == 0:
             self._check_telemetry_import(node, node.module)
+        if self.in_policy and node.module is not None and node.level == 0:
+            self._check_policy_import(node, node.module)
         if node.module == "random":
             imported = {alias.name for alias in node.names}
             bad = sorted(imported & GLOBAL_RANDOM_FUNCS)
