@@ -31,6 +31,7 @@ from time import perf_counter
 from conftest import once
 
 from repro.policy import SchedulingPolicy, register
+from repro.policy.packing import SEQ_BITS, TIME_BITS, KeyField
 from repro.sim.runner import default_warmup, run_workload
 from repro.workloads.spec2000 import profile as lookup_profile
 
@@ -74,6 +75,18 @@ class _HookedFrFcfs(SchedulingPolicy):
     def request_key(self, request):
         return (request.arrival_time, request.seq)
 
+    def key_field_specs(self):
+        return (
+            KeyField("arrival_time", TIME_BITS),
+            KeyField("seq", SEQ_BITS),
+        )
+
+    def packed_key(self, request):
+        # memoize_keys stays False, so this runs on every scheduling
+        # pass — exactly the generic-path cost the tripwire measures,
+        # now in its packed-key form.
+        return (request.arrival_time << SEQ_BITS) | request.seq
+
 
 register("NOOP-HOOKED", lambda ctx: _HookedFrFcfs())
 
@@ -109,6 +122,23 @@ def test_policy_dispatch_overhead(benchmark, cycles):
             print(f"  {policy:12s} {engine:6s} {rate:10,.0f} cyc/s")
 
     strict = bool(os.environ.get("REPRO_BENCH_STRICT"))
+    if strict:
+        # Fail loudly — not with a KeyError deep in the gate loop —
+        # when the gate is armed but the baseline block it compares
+        # against is incomplete.  An armed gate with missing baselines
+        # would otherwise "pass" by never comparing anything.
+        missing = [
+            f"{policy}/{engine}"
+            for policy in GATED_POLICIES
+            for engine in ENGINES
+            if engine not in PRE_REFACTOR.get(policy, {})
+        ]
+        assert not missing, (
+            "REPRO_BENCH_STRICT is set but the pre_refactor baseline "
+            f"block lacks entries for: {', '.join(missing)}. Restore "
+            "the baselines (or unset the env var) before trusting this "
+            "run."
+        )
     RESULT_PATH.write_text(
         json.dumps(
             {

@@ -15,41 +15,91 @@ first-ready priority.  Under the FQ bank rule (paper §3.3) the bank
 commits to the earliest-virtual-finish-time request once the bank has
 been active for ``x`` cycles, bounding priority-inversion blocking
 time at the cost of some data-bus utilization.
+
+Two hot-path mechanisms keep selection cheap (docs/INTERNALS.md,
+"Hot-path kernels"):
+
+* **Packed keys** — policies that declare a key layout
+  (``key_field_specs``) are compared as single ints; the full priority
+  ``ready → CAS-over-RAS → key`` becomes one integer with penalty bits
+  above the key width, so the selection loop does one C-level compare
+  per request.  Policies without a layout (and every policy under
+  ``REPRO_PACKED_KEYS=0``) run the original tuple loops, which remain
+  the differential oracle.
+* **Queue-shape counters** — the scheduler maintains read/write and
+  row-hit counts, so "which command kinds does this bank need?"
+  (:meth:`kind_mask`) is O(1) and wake bounds come from the DRAM
+  system's batched legality kernel instead of a queue walk.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..core.vtms import VtmsState
 from ..dram.commands import CommandType
 from ..dram.dram_system import DramSystem
+from ..dram.legality import MASK_ACT, MASK_PRE, MASK_READ, MASK_WRITE
 from ..policy.base import SchedulingPolicy
+from ..policy.packing import packed_keys_enabled, total_bits
 from .request import MemoryRequest
 
 
-@dataclass
 class CandidateCommand:
     """A command a bank scheduler offers to the channel scheduler."""
 
-    kind: CommandType
-    rank: int
-    bank: int
-    row: int
-    ready: bool
-    #: Policy ordering key of the request being served (lower = higher
-    #: priority).  Auto-precharges sort after all request-driven work.
-    key: Tuple
-    request: Optional[MemoryRequest]
-    #: Thread charged for this command in the VTMS update (the request's
-    #: thread, or for auto-precharge the thread that opened the row).
-    charge_thread: Optional[int]
-    #: Arrival time a_i^k used by the VTMS update equations.
-    charge_arrival: float
+    __slots__ = (
+        "kind",
+        "rank",
+        "bank",
+        "row",
+        "ready",
+        "key",
+        "request",
+        "charge_thread",
+        "charge_arrival",
+    )
+
+    def __init__(
+        self,
+        kind: CommandType,
+        rank: int,
+        bank: int,
+        row: int,
+        ready: bool,
+        key: object,
+        request: Optional[MemoryRequest],
+        charge_thread: Optional[int],
+        charge_arrival: float,
+    ):
+        self.kind = kind
+        self.rank = rank
+        self.bank = bank
+        self.row = row
+        self.ready = ready
+        #: Policy ordering key of the request being served (lower =
+        #: higher priority): a packed int on the packed-key path, the
+        #: policy's ordering tuple otherwise.  Auto-precharges sort
+        #: after all request-driven work in either representation.
+        self.key = key
+        self.request = request
+        #: Thread charged for this command in the VTMS update (the
+        #: request's thread, or for auto-precharge the thread that
+        #: opened the row).
+        self.charge_thread = charge_thread
+        #: Arrival time a_i^k used by the VTMS update equations.
+        self.charge_arrival = charge_arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CandidateCommand(kind={self.kind!r}, rank={self.rank}, "
+            f"bank={self.bank}, row={self.row}, ready={self.ready}, "
+            f"key={self.key!r}, request={self.request!r})"
+        )
 
 
-#: Ordering key that sorts auto-precharge candidates after any request.
+#: Ordering key that sorts auto-precharge candidates after any request
+#: (tuple path; the packed path uses ``1 << key_bits``).
 _AUTO_PRECHARGE_KEY = (float("inf"),)
 
 #: Wake bound meaning "this bank has no work at all"; stays cached
@@ -83,7 +133,8 @@ class BankScheduler:
         self.inversion_bound = inversion_bound
         #: Flat (rank, bank) index into the per-thread VTMS bank
         #: registers — distinct banks in distinct ranks are distinct
-        #: VTMS resources.
+        #: VTMS resources.  The legality kernel uses the same flat
+        #: numbering.
         self.vtms_bank_index = rank * dram.num_banks + bank
         #: "closed" precharges a row once its pending accesses drain
         #: (the paper's choice); "open" leaves rows open until a
@@ -97,6 +148,19 @@ class BankScheduler:
         #: runs, so the issue hook costs one attribute test.
         self.telemetry = None
         self.queue: List[MemoryRequest] = []
+        #: Queue-shape counters over the FULL queue (ignoring the
+        #: write-drain gate): request counts by kind and how many of
+        #: each hit the currently open row.  They make the candidate
+        #: prologue and :meth:`kind_mask` O(1).
+        self._n_read = 0
+        self._n_write = 0
+        self._n_read_hit = 0
+        self._n_write_hit = 0
+        #: The open row the hit counters were computed against; when the
+        #: bank's live row differs (state mutated without
+        #: :meth:`on_issue`, e.g. tests poking the DRAM directly), the
+        #: counters self-heal with a recount.
+        self._counted_row: Optional[int] = None
         # Bookkeeping for charging auto-precharges to the thread that
         # opened the row.
         self.open_row_thread: Optional[int] = None
@@ -107,33 +171,84 @@ class BankScheduler:
         #: Bumped on queue membership changes; part of the scan stamp
         #: that lets :meth:`_refresh_finish_times` skip entirely.
         self._queue_version = 0
-        #: Inputs of the last finish-time scan (thread epochs are
-        #: monotonic, so their sum is a valid version counter).
-        self._vft_scan_stamp: Optional[Tuple] = None
-        #: Fast selection path: keys memoizable per request and the
-        #: classic ready → CAS-over-RAS → key priority levels.  The
-        #: paper policies all qualify; stateful policies (fresh keys
-        #: every pass) and key-over-CAS policies take the generic loop.
-        #: Rebinding the methods here keeps the fast path branch-free —
-        #: the selection loop and key memo run the exact pre-subsystem
-        #: instruction stream for the paper policies.
-        self._fast_path = policy.memoize_keys and not policy.key_over_cas
-        if not self._fast_path:
-            self.candidate = self._candidate_generic  # type: ignore[method-assign]
+        #: Inputs of the last finish-time scan (all three are monotone
+        #: counters, so equality means "nothing moved").
+        self._scan_global = -1
+        self._scan_row = -1
+        self._scan_queue = -1
+        #: Packed-key path: the policy declares a key layout and packed
+        #: keys are enabled.  Penalty bits sit above the key width so
+        #: the full priority (ready, CAS-over-RAS, key) is one int.
+        specs = policy.key_field_specs()
+        self._packed = specs is not None and packed_keys_enabled()
+        if self._packed:
+            bits = total_bits(specs)
+            self._key_bits = bits
+            self._auto_key: object = 1 << bits
+            self._cas_pen = 1 << (bits + 1)
+            self._ready_pen = 1 << (bits + 2)
+            self._sort_limit = 1 << (bits + 3)
+            self._key_of = policy.packed_key
+            if policy.memoize_keys and not policy.key_over_cas:
+                self.candidate = self._candidate_packed  # type: ignore[method-assign]
+            else:
+                self.candidate = self._candidate_packed_generic  # type: ignore[method-assign]
+        else:
+            self._auto_key = _AUTO_PRECHARGE_KEY
+            self._key_of = policy.request_key
+            if not (policy.memoize_keys and not policy.key_over_cas):
+                self.candidate = self._candidate_generic  # type: ignore[method-assign]
         if not policy.memoize_keys:
-            self._request_key = policy.request_key  # type: ignore[method-assign]
+            self._request_key = self._key_of  # type: ignore[method-assign]
         if policy.uses_vtms and vtms is None:
             raise ValueError(f"policy {policy.name} requires VTMS state")
 
     # -- queue management --------------------------------------------------
 
     def add(self, request: MemoryRequest) -> None:
+        self._ensure_counts()
         self.queue.append(request)
         self._queue_version += 1
+        if request.is_read:
+            self._n_read += 1
+            if request.row == self._counted_row:
+                self._n_read_hit += 1
+        else:
+            self._n_write += 1
+            if request.row == self._counted_row:
+                self._n_write_hit += 1
 
     def remove(self, request: MemoryRequest) -> None:
+        self._ensure_counts()
         self.queue.remove(request)
         self._queue_version += 1
+        if request.is_read:
+            self._n_read -= 1
+            if request.row == self._counted_row:
+                self._n_read_hit -= 1
+        else:
+            self._n_write -= 1
+            if request.row == self._counted_row:
+                self._n_write_hit -= 1
+
+    def _ensure_counts(self) -> None:
+        if self._bank.open_row != self._counted_row:
+            self._recount_hits()
+
+    def _recount_hits(self) -> None:
+        """Rebuild the row-hit counters against the bank's live open row."""
+        open_row = self._bank.open_row
+        read_hit = write_hit = 0
+        if open_row is not None:
+            for request in self.queue:
+                if request.row == open_row:
+                    if request.is_read:
+                        read_hit += 1
+                    else:
+                        write_hit += 1
+        self._n_read_hit = read_hit
+        self._n_write_hit = write_hit
+        self._counted_row = open_row
 
     def __len__(self) -> int:
         return len(self.queue)
@@ -143,23 +258,21 @@ class BankScheduler:
     def _bank_state(self):
         return self._bank
 
-    def _request_key(self, request: MemoryRequest) -> Tuple:
-        """Policy ordering key, memoized per (request, VFT stamp).
+    def _request_key(self, request: MemoryRequest) -> object:
+        """Policy ordering key (packed int or tuple), memoized per request.
 
         FR-FCFS keys are fixed at arrival; VTMS keys change only when
-        :meth:`_refresh_finish_times` moves the request's ``vft_stamp``,
-        so the tuple is rebuilt exactly when its inputs changed.
-        Policies whose keys read mutable policy state opt out of the
-        memo (``memoize_keys`` False): construction rebinds this name
-        to the policy's raw ``request_key``, so they recompute every
-        call and the memoizing path stays branch-free.
+        :meth:`_refresh_finish_times` recomputes a request's estimate,
+        which clears ``key_cache`` — so the key is rebuilt exactly when
+        its inputs changed.  Policies whose keys read mutable policy
+        state opt out of the memo (``memoize_keys`` False):
+        construction rebinds this name to the raw key function, so they
+        recompute every call and the memoizing path stays branch-free.
         """
-        stamp = request.vft_stamp
-        cached = request.key_cache
-        if cached is not None and cached[0] == stamp:
-            return cached[1]
-        key = self.policy.request_key(request)
-        request.key_cache = (stamp, key)
+        key = request.key_cache
+        if key is None:
+            key = self._key_of(request)
+            request.key_cache = key
         return key
 
     def _next_command_kind(self, request: MemoryRequest) -> CommandType:
@@ -177,37 +290,43 @@ class BankScheduler:
         Implements the paper's deferred finish-time computation: the
         estimate uses the bank-state-dependent service time (Table 3)
         and the thread's current registers, so it tracks the service
-        the thread has actually consumed.
+        the thread has actually consumed.  Clearing ``key_cache`` here
+        is what keeps the per-request key memo sound.
         """
         vtms = self.vtms
         assert vtms is not None  # callers gate on policy.uses_vtms
-        scan_stamp = (
-            vtms.global_epoch,
-            self._row_epoch,
-            self._queue_version,
-        )
-        if scan_stamp == self._vft_scan_stamp:
+        if (
+            vtms.global_epoch == self._scan_global
+            and self._row_epoch == self._scan_row
+            and self._queue_version == self._scan_queue
+        ):
             # VTMS registers, bank row state, and queue membership are
             # all unchanged since the last scan, so every request's
             # estimate is still current.  Epochs and the queue version
             # only move on arrival/issue events, never on idle cycles.
             return
-        self._vft_scan_stamp = scan_stamp
+        self._scan_global = vtms.global_epoch
+        self._scan_row = self._row_epoch
+        self._scan_queue = self._queue_version
         bank = self._bank_state()
         row_epoch = self._row_epoch
+        bank_index = self.vtms_bank_index
         for request in self.queue:
             thread = vtms[request.thread_id]
-            stamp = (thread.epoch, row_epoch)
-            if request.vft_stamp == stamp:
+            epoch = thread.epoch
+            if (
+                request.vft_thread_epoch == epoch
+                and request.vft_row_epoch == row_epoch
+            ):
                 continue
             service = bank.state_service_time(request.row)
-            request.virtual_start_time = thread.start_time_estimate(
-                self.vtms_bank_index
-            )
+            request.virtual_start_time = thread.start_time_estimate(bank_index)
             request.virtual_finish_time = thread.finish_time_estimate(
-                self.vtms_bank_index, service
+                bank_index, service
             )
-            request.vft_stamp = stamp
+            request.vft_thread_epoch = epoch
+            request.vft_row_epoch = row_epoch
+            request.key_cache = None
 
     def _candidate_for(
         self,
@@ -251,11 +370,21 @@ class BankScheduler:
             bank=self.bank,
             row=bank.open_row,
             ready=ready,
-            key=_AUTO_PRECHARGE_KEY,
+            key=self._auto_key,
             request=None,
             charge_thread=self.open_row_thread,
             charge_arrival=self.open_row_arrival,
         )
+
+    def _visible(self) -> List[MemoryRequest]:
+        if self.writes_eligible:
+            return self.queue
+        return [r for r in self.queue if r.is_read]
+
+    def _min_key_request(self, visible: List[MemoryRequest]) -> MemoryRequest:
+        if len(visible) == 1:
+            return visible[0]
+        return min(visible, key=self._request_key)
 
     # -- candidate selection ---------------------------------------------------
 
@@ -267,6 +396,11 @@ class BankScheduler:
             draining_for_refresh: When a refresh is due the controller
                 stops opening new rows and precharges idle open rows so
                 the refresh can start.
+
+        This default body is the tuple-path fast loop (memoizable keys,
+        CAS-over-RAS below ready).  Construction rebinds ``candidate``
+        to a packed-int or generic variant when the policy calls for
+        one; all variants select identically.
         """
         bank = self._bank_state()
         if (
@@ -278,10 +412,7 @@ class BankScheduler:
 
         # Write-drain gating: when writes are held back, schedule as if
         # only the reads were queued.
-        if self.writes_eligible:
-            visible = self.queue
-        else:
-            visible = [r for r in self.queue if r.is_read]
+        visible = self._visible()
 
         has_row_work = bank.open_row is not None and any(
             r.row == bank.open_row for r in visible
@@ -311,7 +442,7 @@ class BankScheduler:
             # FQ bank rule: commit to the earliest-virtual-finish-time
             # request and wait for its first command to become ready,
             # even if other requests (e.g. row hits) are ready now.
-            chosen = min(visible, key=self._request_key)
+            chosen = self._min_key_request(visible)
             return self._candidate_for(chosen, now)
 
         # First-ready selection: prefer ready commands, then CAS over
@@ -327,7 +458,7 @@ class BankScheduler:
         activate, precharge = CommandType.ACTIVATE, CommandType.PRECHARGE
         read, write = CommandType.READ, CommandType.WRITE
         can_issue = self.dram.can_issue
-        policy_key = self.policy.request_key
+        key_of = self._key_of
         for request in visible:
             if open_row is None:
                 kind = activate
@@ -339,13 +470,10 @@ class BankScheduler:
             if ready is None:
                 ready = can_issue(kind, self.rank, self.bank, now)
                 ready_by_kind[kind] = ready
-            stamp = request.vft_stamp
-            cached = request.key_cache
-            if cached is not None and cached[0] == stamp:
-                key = cached[1]
-            else:
-                key = policy_key(request)
-                request.key_cache = (stamp, key)
+            key = request.key_cache
+            if key is None:
+                key = key_of(request)
+                request.key_cache = key
             sort = (not ready, not kind.is_cas, key)
             if best_sort is None or sort < best_sort:
                 best_request, best_sort, best_kind = request, sort, kind
@@ -354,16 +482,276 @@ class BankScheduler:
             best_request, now, kind=best_kind, ready=not best_sort[0]
         )
 
+    def _candidate_packed(
+        self, now: int, draining_for_refresh: bool = False
+    ) -> Optional[CandidateCommand]:
+        """Packed-int selection for memoizable, CAS-over-RAS policies.
+
+        Selects identically to :meth:`candidate`: the ready and
+        CAS-over-RAS levels become penalty bits above the key width, so
+        the three-way tuple compare collapses into one int compare.
+        The queue-shape counters collapse the common single-kind cases
+        (closed bank, all-hit read bursts, conflict-only queues) to a
+        plain min over memoized keys with one shared readiness probe.
+        """
+        bank = self._bank
+        policy = self.policy
+        queue = self.queue
+        if policy.uses_vtms and not policy.arrival_accounting and queue:
+            self._refresh_finish_times()
+        self._ensure_counts()
+
+        eligible = self.writes_eligible
+        n_vis = self._n_read + self._n_write if eligible else self._n_read
+        open_row = bank.open_row
+
+        if open_row is None:
+            if n_vis == 0 or draining_for_refresh:
+                return None
+            visible = queue if eligible else [r for r in queue if r.is_read]
+            # Closed bank: every candidate is an activate; the winner is
+            # the min-key request under one shared readiness probe.
+            chosen = self._min_key_request(visible)
+            ready = self.dram.can_issue(
+                CommandType.ACTIVATE, self.rank, self.bank, now
+            )
+            return self._candidate_for(
+                chosen, now, kind=CommandType.ACTIVATE, ready=ready
+            )
+
+        vis_hits = (
+            self._n_read_hit + self._n_write_hit
+            if eligible
+            else self._n_read_hit
+        )
+        if n_vis == 0:
+            if self.row_policy == "closed" or draining_for_refresh:
+                return self._auto_precharge(now)
+            return None
+
+        if (
+            policy.fq_bank_rule
+            and now - bank.last_activate >= self.inversion_bound
+        ):
+            visible = queue if eligible else [r for r in queue if r.is_read]
+            chosen = self._min_key_request(visible)
+            return self._candidate_for(chosen, now)
+
+        if vis_hits == 0:
+            # Every visible request conflicts with the open row: all
+            # candidates are precharges, so the min-key request wins.
+            visible = queue if eligible else [r for r in queue if r.is_read]
+            chosen = self._min_key_request(visible)
+            ready = self.dram.can_issue(
+                CommandType.PRECHARGE, self.rank, self.bank, now
+            )
+            return self._candidate_for(
+                chosen, now, kind=CommandType.PRECHARGE, ready=ready
+            )
+
+        if vis_hits == n_vis and (not eligible or self._n_write_hit == 0):
+            # All-hit, all-read: the dominant streaming case.
+            visible = queue if eligible else [r for r in queue if r.is_read]
+            chosen = self._min_key_request(visible)
+            ready = self.dram.can_issue(
+                CommandType.READ, self.rank, self.bank, now
+            )
+            return self._candidate_for(
+                chosen, now, kind=CommandType.READ, ready=ready
+            )
+
+        # Mixed kinds: one pass, one int compare per request.  Lazily
+        # computed per-kind penalty prefixes share the readiness probes.
+        visible = queue if eligible else [r for r in queue if r.is_read]
+        rank, bank_index = self.rank, self.bank
+        can_issue = self.dram.can_issue
+        key_of = self._key_of
+        ready_pen = self._ready_pen
+        cas_pen = self._cas_pen
+        read_p = write_p = pre_p = -1
+        best_request: Optional[MemoryRequest] = None
+        best_kind: Optional[CommandType] = None
+        best_sort = self._sort_limit
+        activate, precharge = CommandType.ACTIVATE, CommandType.PRECHARGE
+        read, write = CommandType.READ, CommandType.WRITE
+        for request in visible:
+            if request.row == open_row:
+                if request.is_read:
+                    kind = read
+                    p = read_p
+                    if p < 0:
+                        p = (
+                            0
+                            if can_issue(read, rank, bank_index, now)
+                            else ready_pen
+                        )
+                        read_p = p
+                else:
+                    kind = write
+                    p = write_p
+                    if p < 0:
+                        p = (
+                            0
+                            if can_issue(write, rank, bank_index, now)
+                            else ready_pen
+                        )
+                        write_p = p
+            else:
+                kind = precharge
+                p = pre_p
+                if p < 0:
+                    p = (
+                        cas_pen
+                        if can_issue(precharge, rank, bank_index, now)
+                        else cas_pen + ready_pen
+                    )
+                    pre_p = p
+            key = request.key_cache
+            if key is None:
+                key = key_of(request)
+                request.key_cache = key
+            sort = p + key
+            if sort < best_sort:
+                best_request, best_sort, best_kind = request, sort, kind
+        assert best_request is not None
+        return self._candidate_for(
+            best_request, now, kind=best_kind, ready=best_sort < ready_pen
+        )
+
+    def _candidate_packed_generic(
+        self, now: int, draining_for_refresh: bool = False
+    ) -> Optional[CandidateCommand]:
+        """Packed-int selection for non-memoizable / key-over-CAS policies.
+
+        Same structure as :meth:`_candidate_packed` but keys are
+        recomputed every pass (BLISS's blacklist, MISE's snapshot) and
+        ``key_over_cas`` drops the CAS penalty bit so the policy key
+        outranks the CAS-over-RAS preference.
+        """
+        bank = self._bank
+        policy = self.policy
+        queue = self.queue
+        if policy.uses_vtms and not policy.arrival_accounting and queue:
+            self._refresh_finish_times()
+        self._ensure_counts()
+
+        eligible = self.writes_eligible
+        n_vis = self._n_read + self._n_write if eligible else self._n_read
+        open_row = bank.open_row
+
+        if open_row is None:
+            if n_vis == 0 or draining_for_refresh:
+                return None
+            visible = queue if eligible else [r for r in queue if r.is_read]
+            chosen = self._min_key_request(visible)
+            ready = self.dram.can_issue(
+                CommandType.ACTIVATE, self.rank, self.bank, now
+            )
+            return self._candidate_for(
+                chosen, now, kind=CommandType.ACTIVATE, ready=ready
+            )
+
+        vis_hits = (
+            self._n_read_hit + self._n_write_hit
+            if eligible
+            else self._n_read_hit
+        )
+        if n_vis == 0:
+            if self.row_policy == "closed" or draining_for_refresh:
+                return self._auto_precharge(now)
+            return None
+
+        if (
+            policy.fq_bank_rule
+            and now - bank.last_activate >= self.inversion_bound
+        ):
+            visible = queue if eligible else [r for r in queue if r.is_read]
+            chosen = self._min_key_request(visible)
+            return self._candidate_for(chosen, now)
+
+        if vis_hits == 0:
+            visible = queue if eligible else [r for r in queue if r.is_read]
+            chosen = self._min_key_request(visible)
+            ready = self.dram.can_issue(
+                CommandType.PRECHARGE, self.rank, self.bank, now
+            )
+            return self._candidate_for(
+                chosen, now, kind=CommandType.PRECHARGE, ready=ready
+            )
+
+        if vis_hits == n_vis and (not eligible or self._n_write_hit == 0):
+            visible = queue if eligible else [r for r in queue if r.is_read]
+            chosen = self._min_key_request(visible)
+            ready = self.dram.can_issue(
+                CommandType.READ, self.rank, self.bank, now
+            )
+            return self._candidate_for(
+                chosen, now, kind=CommandType.READ, ready=ready
+            )
+
+        visible = queue if eligible else [r for r in queue if r.is_read]
+        rank, bank_index = self.rank, self.bank
+        can_issue = self.dram.can_issue
+        key_of = self._key_of
+        ready_pen = self._ready_pen
+        cas_pen = 0 if policy.key_over_cas else self._cas_pen
+        read_p = write_p = pre_p = -1
+        best_request: Optional[MemoryRequest] = None
+        best_kind: Optional[CommandType] = None
+        best_sort = self._sort_limit
+        precharge = CommandType.PRECHARGE
+        read, write = CommandType.READ, CommandType.WRITE
+        for request in visible:
+            if request.row == open_row:
+                if request.is_read:
+                    kind = read
+                    p = read_p
+                    if p < 0:
+                        p = (
+                            0
+                            if can_issue(read, rank, bank_index, now)
+                            else ready_pen
+                        )
+                        read_p = p
+                else:
+                    kind = write
+                    p = write_p
+                    if p < 0:
+                        p = (
+                            0
+                            if can_issue(write, rank, bank_index, now)
+                            else ready_pen
+                        )
+                        write_p = p
+            else:
+                kind = precharge
+                p = pre_p
+                if p < 0:
+                    p = (
+                        cas_pen
+                        if can_issue(precharge, rank, bank_index, now)
+                        else cas_pen + ready_pen
+                    )
+                    pre_p = p
+            sort = p + key_of(request)
+            if sort < best_sort:
+                best_request, best_sort, best_kind = request, sort, kind
+        assert best_request is not None
+        return self._candidate_for(
+            best_request, now, kind=best_kind, ready=best_sort < ready_pen
+        )
+
     def _candidate_generic(
         self, now: int, draining_for_refresh: bool = False
     ) -> Optional[CandidateCommand]:
-        """Generic selection for policies off the fast path.
+        """Generic tuple-path selection for policies off the fast path.
 
         Construction rebinds :meth:`candidate` here when the policy's
         keys read mutable state (recomputed on every pass, no
         per-request memo) or rank above the CAS-over-RAS preference
         (``key_over_cas``; ready commands still rank above not-ready
-        ones).  The prologue mirrors :meth:`candidate` exactly.
+        ones) and no packed-key layout is in effect.  The prologue
+        mirrors :meth:`candidate` exactly.
         """
         bank = self._bank_state()
         if (
@@ -373,10 +761,7 @@ class BankScheduler:
         ):
             self._refresh_finish_times()
 
-        if self.writes_eligible:
-            visible = self.queue
-        else:
-            visible = [r for r in self.queue if r.is_read]
+        visible = self._visible()
 
         has_row_work = bank.open_row is not None and any(
             r.row == bank.open_row for r in visible
@@ -398,7 +783,7 @@ class BankScheduler:
             and bank.open_row is not None
             and now - bank.last_activate >= self.inversion_bound
         ):
-            chosen = min(visible, key=self._request_key)
+            chosen = self._min_key_request(visible)
             return self._candidate_for(chosen, now)
 
         open_row = bank.open_row
@@ -434,6 +819,8 @@ class BankScheduler:
             best_request, now, kind=best_kind, ready=not best_sort[0]
         )
 
+    # -- wake bounds ---------------------------------------------------------
+
     def cacheable_wake(self, now: int) -> Optional[int]:
         """Lower bound on this bank's next possibly-ready candidate.
 
@@ -442,13 +829,18 @@ class BankScheduler:
         only move *later* while cached, which holds because command
         issues elsewhere can only push DRAM timing out, and every event
         that could pull it in (an arrival, an issue on this bank, a
-        refresh, a write-drain flip) invalidates the cache.
+        refresh, a write-drain flip — and, under VTMS policies, *any*
+        VTMS register change, which the controller maps to a full
+        invalidation on every arrival and issue) invalidates the cache.
 
-        Returns ``IDLE_BOUND`` when the bank has no work at all, and
-        ``None`` when no bound may be cached: in committed FQ mode the
-        nominated request — and with it the command kind probed for
-        readiness — can change whenever other banks' issues move the
-        thread VTMS, so the bank must be polled every cycle.
+        Returns ``IDLE_BOUND`` when the bank has no work at all.  In
+        committed FQ mode the bound is exact: the nominated request is
+        pinned until the next invalidation event (VTMS registers only
+        move on arrivals/issues, both of which invalidate), so the
+        earliest-issue time of its next command kind may be cached.
+        ``None`` (poll every cycle) is kept only for the rare
+        write-gated committed state, where the nominated set depends on
+        the drain gate mid-flight.
         """
         bank = self._bank_state()
         if (
@@ -457,11 +849,68 @@ class BankScheduler:
             and self.queue
             and now - bank.last_activate >= self.inversion_bound
         ):
-            return None
+            if not self.writes_eligible:
+                return None
+            if not self.policy.arrival_accounting:
+                self._refresh_finish_times()
+            chosen = self._min_key_request(self.queue)
+            t = self.dram.earliest_issue(
+                self._next_command_kind(chosen), self.rank, self.bank
+            )
+            if t is None:  # pragma: no cover - open bank always has a kind
+                return None
+            return t if t > now else now + 1
         t = self.earliest_possible_issue(now)
         if t is None:
             return IDLE_BOUND
         return t
+
+    def poll_bound(self, now: int) -> int:
+        """First cycle ≥ ``now`` this bank could nominate a *ready* candidate.
+
+        The channel scheduler's pre-candidate gate: when the bound is in
+        the future, :meth:`candidate` is provably fruitless and is
+        skipped without being called.  Exactness contract: the bound is
+        ``<= now`` whenever :meth:`candidate` would return a ready
+        command at ``now`` (the kind mask covers every visible
+        candidate, including auto-precharge, and committed-FQ banks
+        bound the nominated request's own command; states where the
+        nominated set is ambiguous return ``now``).  A future bound may
+        still be conservative (early), which at worst re-polls.
+        ``IDLE_BOUND`` means nothing to nominate at all.
+        """
+        bank = self._bank
+        if (
+            self.policy.fq_bank_rule
+            and bank.open_row is not None
+            and self.queue
+        ):
+            switch = bank.last_activate + self.inversion_bound
+            if now >= switch:
+                if not self.writes_eligible:
+                    return now
+                if not self.policy.arrival_accounting:
+                    # The nominated request comes from VFT ordering, so
+                    # the estimates must be current before taking the
+                    # min (candidate() refreshes them the same way).
+                    self._refresh_finish_times()
+                chosen = self._min_key_request(self.queue)
+                t = self.dram.earliest_issue(
+                    self._next_command_kind(chosen), self.rank, self.bank
+                )
+                return now if t is None else t
+            mask = self.kind_mask()
+            if not mask:
+                return switch
+            e = self.dram.kernel.earliest_by_mask(self.vtms_bank_index, mask)
+            if e is None or e > switch:
+                return switch
+            return e
+        mask = self.kind_mask()
+        if not mask:
+            return IDLE_BOUND
+        e = self.dram.kernel.earliest_by_mask(self.vtms_bank_index, mask)
+        return IDLE_BOUND if e is None else e
 
     def earliest_possible_issue(self, now: int) -> Optional[int]:
         """Earliest future cycle any of this bank's candidates could issue.
@@ -482,54 +931,82 @@ class BankScheduler:
             if now >= switch:
                 # Committed mode: only the earliest-virtual-finish-time
                 # request's first command can issue from this bank.
-                chosen = min(self.queue, key=self._request_key)
+                if not self.policy.arrival_accounting:
+                    self._refresh_finish_times()
+                chosen = self._min_key_request(self.queue)
                 t = self.dram.earliest_issue(
                     self._next_command_kind(chosen), self.rank, self.bank
                 )
                 if t is None:
                     return None
-                return max(t, now + 1)
+                return t if t > now else now + 1
             # First-ready until the inversion bound expires; the mode
             # switch itself is a wake-worthy event.
             first_ready = self._first_ready_earliest(now)
             if first_ready is None:
-                return max(switch, now + 1)
-            return max(min(first_ready, switch), now + 1)
+                return switch if switch > now else now + 1
+            t = first_ready if first_ready < switch else switch
+            return t if t > now else now + 1
 
         earliest = self._first_ready_earliest(now)
         if earliest is None:
             return None
-        return max(earliest, now + 1)
+        return earliest if earliest > now else now + 1
+
+    def kind_mask(self) -> int:
+        """Legality-kernel mask of the command kinds this bank needs.
+
+        O(1) from the queue-shape counters; mirrors the kind set the
+        candidate loops would derive from a walk over the *visible*
+        queue (write-drain gate applied), with the auto-precharge of an
+        exhausted row folded in as PRECHARGE (``hits == 0`` on an open
+        bank).  Zero means the bank has nothing to nominate.
+        """
+        self._ensure_counts()
+        if self.writes_eligible:
+            n = self._n_read + self._n_write
+            hits = self._n_read_hit + self._n_write_hit
+        else:
+            n = self._n_read
+            hits = self._n_read_hit
+        if self._bank.open_row is None:
+            return MASK_ACT if n else 0
+        mask = 0
+        if self._n_read_hit:
+            mask |= MASK_READ
+        if self.writes_eligible and self._n_write_hit:
+            mask |= MASK_WRITE
+        if n > hits or hits == 0:
+            mask |= MASK_PRE
+        return mask
+
+    def wake_mask(self) -> Optional[int]:
+        """The :meth:`kind_mask` when the plain batched horizon applies.
+
+        ``None`` when this bank's wake bound needs the FQ special cases
+        in :meth:`earliest_possible_issue` (open row under the FQ bank
+        rule) and must be computed scalar.
+        """
+        if (
+            self.policy.fq_bank_rule
+            and self._bank.open_row is not None
+            and self.queue
+        ):
+            return None
+        return self.kind_mask()
 
     def _first_ready_earliest(self, now: int) -> Optional[int]:
         """Min earliest-issue over every candidate command of this bank.
 
         Requests reduce to at most three distinct command kinds in any
-        bank state, so the DRAM timing query runs once per kind rather
-        than once per request.
+        bank state; the kind set comes from the queue-shape counters
+        and the timing min from the batched legality kernel, so no
+        queue walk happens here.
         """
-        bank = self._bank_state()
-        open_row = bank.open_row
-        kinds = set()
-        row_work = False
-        for request in self.queue:
-            if open_row is None:
-                kinds.add(CommandType.ACTIVATE)
-            elif open_row == request.row:
-                row_work = True
-                kinds.add(
-                    CommandType.READ if request.is_read else CommandType.WRITE
-                )
-            else:
-                kinds.add(CommandType.PRECHARGE)
-        if open_row is not None and not row_work:
-            kinds.add(CommandType.PRECHARGE)
-        earliest: Optional[int] = None
-        for kind in kinds:  # det: allow(pure min reduction, order-free)
-            t = self.dram.earliest_issue(kind, self.rank, self.bank)
-            if t is not None and (earliest is None or t < earliest):
-                earliest = t
-        return earliest
+        mask = self.kind_mask()
+        if not mask:
+            return None
+        return self.dram.kernel.earliest_by_mask(self.vtms_bank_index, mask)
 
     # -- issue notification -------------------------------------------------
 
@@ -543,8 +1020,12 @@ class BankScheduler:
             self.open_row_thread = cand.request.thread_id
             self.open_row_arrival = cand.request.virtual_arrival
             self._row_epoch += 1
+            self._recount_hits()
         elif cand.kind is CommandType.PRECHARGE:
             self.open_row_thread = None
             self._row_epoch += 1
+            self._n_read_hit = 0
+            self._n_write_hit = 0
+            self._counted_row = None
         elif cand.kind.is_cas and cand.request is not None:
             self.remove(cand.request)

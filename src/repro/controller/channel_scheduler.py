@@ -13,10 +13,19 @@ the next cycle that bank could nominate a *ready* command
 not elapsed.  Skipping is sound because issues elsewhere only push
 DRAM timing later, and every event that could pull a bound earlier —
 an arrival for the bank, an issue on the bank, a refresh, a
-write-drain eligibility flip — invalidates the cache via
-:meth:`invalidate` / :meth:`invalidate_all`.  Selection is therefore
-bit-identical to scanning every bank: skipped banks could only have
-contributed non-ready candidates, which the scan discards anyway.
+write-drain eligibility flip, any VTMS register change — invalidates
+the cache via :meth:`invalidate` / :meth:`invalidate_all`.  Selection
+is therefore bit-identical to scanning every bank: skipped banks could
+only have contributed non-ready candidates, which the scan discards
+anyway.
+
+On the packed-key path arbitration reuses the bank schedulers' penalty
+encoding: a candidate's channel sort is its packed key plus the
+CAS-penalty bit for RAS commands, so picking the winner is one int
+compare per nominated candidate.  Sleep bounds batch through the
+legality kernel: each pollable bank contributes its O(1) kind mask and
+one vectorized horizon query replaces the per-bank earliest-issue
+walks (banks in FQ special states fall back to the scalar bound).
 """
 
 from __future__ import annotations
@@ -35,8 +44,8 @@ class ChannelScheduler:
             (s.rank, s.bank): i for i, s in enumerate(self.bank_schedulers)
         }
         #: Per-bank wake bound; None = must poll (never computed, just
-        #: invalidated, or the bank is in committed FQ mode where no
-        #: bound may be cached).
+        #: invalidated, or the bank is in a state where no bound may be
+        #: cached).
         self._bounds: List[Optional[int]] = [None] * len(self.bank_schedulers)
         #: Whether channel arbitration keeps the CAS-over-RAS level
         #: above the policy key; key-over-CAS policies (e.g. BLISS)
@@ -46,6 +55,22 @@ class ChannelScheduler:
             if self.bank_schedulers
             else True
         )
+        #: Packed-key arbitration: all bank schedulers share one policy,
+        #: so one penalty encoding covers every candidate.
+        self._packed = (
+            self.bank_schedulers[0]._packed if self.bank_schedulers else False
+        )
+        self._cas_pen = (
+            self.bank_schedulers[0]._cas_pen if self._packed else 0
+        )
+        #: Batched sleep-bound plumbing: flat bank indices into the
+        #: legality kernel, parallel to ``bank_schedulers``.
+        self._kernel = (
+            self.bank_schedulers[0].dram.kernel
+            if self.bank_schedulers
+            else None
+        )
+        self._flats = [s.vtms_bank_index for s in self.bank_schedulers]
         #: Optional run telemetry (repro.telemetry); None in normal
         #: runs, so arbitration accounting costs one attribute test.
         self.telemetry = None
@@ -55,7 +80,7 @@ class ChannelScheduler:
         self._bounds[self._index[(rank, bank)]] = None
 
     def invalidate_all(self) -> None:
-        """Drop every cached bound (refresh or write-drain flip)."""
+        """Drop every cached bound (refresh, drain flip, VTMS change)."""
         bounds = self._bounds
         for i in range(len(bounds)):
             bounds[i] = None
@@ -69,10 +94,18 @@ class ChannelScheduler:
         bounds = self._bounds
         telemetry = self.telemetry
         cas_first = self._cas_first
+        packed = self._packed
+        cas_pen = self._cas_pen
         ready_seen = 0
         for i, scheduler in enumerate(self.bank_schedulers):
             bound = bounds[i]
-            if bound is not None and bound > now:
+            if bound is None:
+                # Pre-candidate gate: one legality-kernel query proves
+                # most just-invalidated banks have nothing ready, so
+                # the full candidate selection never runs for them.
+                bound = scheduler.poll_bound(now)
+                bounds[i] = bound
+            if bound > now:
                 continue
             cand = scheduler.candidate(now, draining_for_refresh)
             if cand is None or not cand.ready:
@@ -83,7 +116,13 @@ class ChannelScheduler:
                 # non-ready candidates (see the skip-soundness note in
                 # the module docstring).
                 ready_seen += 1
-            if cas_first:
+            if packed:
+                sort = (
+                    cand.key
+                    if (cand.kind.is_cas or not cas_first)
+                    else cas_pen + cand.key
+                )
+            elif cas_first:
                 sort = (not cand.kind.is_cas, cand.key)
             else:
                 sort = cand.key
@@ -100,17 +139,41 @@ class ChannelScheduler:
         :meth:`select`, when every pollable bank's bound is fresh.  A
         cached bound can only be conservative (early), which at worst
         wakes the controller for a no-op scan.
+
+        Banks without a cached bound are answered in one batched
+        legality-kernel horizon query over their kind masks; only banks
+        in FQ special states (mode switches, committed nominations)
+        compute their bound scalar.  Per-bank clamping to ``now + 1``
+        commutes with the min, so the batch is exact.
         """
         wake: Optional[int] = None
         bounds = self._bounds
+        batch_flats: List[int] = []
+        batch_masks: List[int] = []
+        flats = self._flats
         for i, scheduler in enumerate(self.bank_schedulers):
             bound = bounds[i]
             if bound is None:
-                bound = scheduler.earliest_possible_issue(now)
-                if bound is None:
+                mask = scheduler.wake_mask()
+                if mask is None:
+                    bound = scheduler.earliest_possible_issue(now)
+                    if bound is None:
+                        continue
+                elif mask == 0:
+                    continue
+                else:
+                    batch_flats.append(flats[i])
+                    batch_masks.append(mask)
                     continue
             elif bound >= IDLE_BOUND:
                 continue
             if wake is None or bound < wake:
                 wake = bound
+        if batch_flats:
+            horizon = self._kernel.horizon(batch_flats, batch_masks)
+            if horizon is not None:
+                if horizon <= now:
+                    horizon = now + 1
+                if wake is None or horizon < wake:
+                    wake = horizon
         return wake

@@ -164,6 +164,14 @@ class MemoryController:
         #: Pending (queued but not CAS-issued) requests per thread, for
         #: Ra_i maintenance and occupancy queries.
         self._pending: List[Set[MemoryRequest]] = [set() for _ in range(num_threads)]
+        #: Total size of the _pending sets, kept in lockstep so the
+        #: busy/has-work probes are O(1).
+        self._pending_total = 0
+        #: FQ policies cache wake bounds that read VTMS registers, so
+        #: every register mutation (all flow through try_enqueue and
+        #: _issue) must drop every cached bound, not just the touched
+        #: bank's.
+        self._fq_invalidate = policy.fq_bank_rule and self.vtms is not None
         #: Stateful policies (BLISS, MISE, ...) get lifecycle hooks;
         #: None for the stateless paper policies, so the hook sites
         #: below cost one attribute test each.
@@ -208,8 +216,14 @@ class MemoryController:
                 self.dram.timing.service_closed,
             )
         self._scheduler_index[(request.rank, request.bank)].add(request)
-        self.channel_scheduler.invalidate(request.rank, request.bank)
+        if self._fq_invalidate:
+            # The arrival may move VTMS registers (oldest-arrival reset,
+            # arrival accounting), which every bank's wake bound reads.
+            self.channel_scheduler.invalidate_all()
+        else:
+            self.channel_scheduler.invalidate(request.rank, request.bank)
         self._pending[request.thread_id].add(request)
+        self._pending_total += 1
         self._refresh_oldest_arrival(request.thread_id)
         self.stats.requests_accepted[request.thread_id] += 1
         self._sleep_until = 0
@@ -235,7 +249,7 @@ class MemoryController:
 
     def has_work(self) -> bool:
         """True when any request is queued or data is in flight."""
-        return bool(self._in_flight) or any(self._pending[t] for t in range(self.num_threads))
+        return bool(self._in_flight) or self._pending_total > 0
 
     # -- per-cycle scheduling --------------------------------------------------
 
@@ -337,7 +351,12 @@ class MemoryController:
         scheduler.on_issue(cand, now)
         if self._policy_hooks is not None:
             self._policy_hooks.on_issue(cand, now)
-        self.channel_scheduler.invalidate(cand.rank, cand.bank)
+        if self._fq_invalidate:
+            # The issue moves VTMS registers (service accounting below,
+            # oldest-arrival refresh on CAS); see _fq_invalidate.
+            self.channel_scheduler.invalidate_all()
+        else:
+            self.channel_scheduler.invalidate(cand.rank, cand.bank)
 
         if (
             self.vtms is not None
@@ -364,7 +383,10 @@ class MemoryController:
             self.stats.cas_cycles[request.thread_id] += self.dram.timing.burst
             request.completed_at = done
             heapq.heappush(self._in_flight, (done, request.seq, request))
-            self._pending[request.thread_id].discard(request)
+            pending = self._pending[request.thread_id]
+            before = len(pending)
+            pending.discard(request)
+            self._pending_total -= before - len(pending)
             self._refresh_oldest_arrival(request.thread_id)
 
     def _pop_completed(self, now: int) -> List[MemoryRequest]:
@@ -414,9 +436,7 @@ class MemoryController:
             # by t_rp plus in-flight CAS completions, so it is short.
             candidates.append(now)
         else:
-            busy = any(self._pending[t] for t in range(self.num_threads)) or any(
-                bank.is_open for _, bank in self.dram.iter_banks()
-            )
+            busy = self._pending_total > 0 or self.dram.open_banks > 0
             if busy:
                 # The scheduling sleep (set by the last tick) bounds
                 # when a command could next become ready.

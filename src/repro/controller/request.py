@@ -65,13 +65,16 @@ class MemoryRequest:
     virtual_arrival: float = 0.0
     virtual_start_time: float = 0.0
     virtual_finish_time: float = 0.0
-    #: Cache stamp (thread epoch, bank row epoch) for the finish-time
-    #: estimate; recomputed only when either epoch moves.
-    vft_stamp: Optional[tuple] = None
-    #: Memoized policy ordering key as (stamp, key); valid while the
-    #: request's ``vft_stamp`` still equals the recorded stamp (always,
-    #: for policies whose keys are fixed at arrival).
-    key_cache: Optional[tuple] = None
+    #: Cache stamps for the finish-time estimate — the owning thread's
+    #: VTMS epoch and the bank's row epoch at the last recompute; the
+    #: estimate is refreshed only when either moves.  -1 = never set.
+    vft_thread_epoch: int = -1
+    vft_row_epoch: int = -1
+    #: Memoized policy ordering key (packed int or tuple, per the
+    #: scheduler's key path); invalidated (set to ``None``) whenever the
+    #: finish-time estimate is refreshed.  Policies whose keys are fixed
+    #: at arrival never invalidate it.
+    key_cache: Optional[object] = None
     cas_issued_at: Optional[int] = None
     completed_at: Optional[int] = None
 

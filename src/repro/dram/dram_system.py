@@ -13,6 +13,7 @@ from typing import List, Optional
 
 from .bank import Bank
 from .commands import CommandType
+from .legality import LegalityKernel
 from .rank import Rank
 from .timing import DDR2Timing
 
@@ -41,6 +42,14 @@ class DramSystem:
         self.refresh_count = 0
         #: Total cycles spent refreshing (for the FQ real clock).
         self.refresh_cycles = 0
+        #: Number of banks with an open row; maintained by :meth:`issue`
+        #: so the controller's busy probe is O(1).
+        self.open_banks = 0
+        #: Batched legality kernel: mirrors the bank/rank/channel timing
+        #: state as flat arrays and answers every earliest-issue query.
+        #: Valid only while mutations flow through :meth:`issue` and
+        #: :meth:`try_start_refresh` (see its invalidation rules).
+        self.kernel = LegalityKernel(self)
 
     # -- topology helpers --------------------------------------------------
 
@@ -97,6 +106,7 @@ class DramSystem:
             return False
         for rank in self.ranks:
             rank.refresh(now)
+        self.kernel.on_refresh()
         self.refresh_end = now + self.timing.t_rfc
         self.refresh_cycles += self.timing.t_rfc
         self.refresh_count += 1
@@ -109,8 +119,27 @@ class DramSystem:
         """Earliest cycle ``kind`` may issue to (rank, bank), or None.
 
         Combines bank-state legality with bank, rank, and channel
-        timing.  Refresh blackouts are handled by the caller via
-        :meth:`in_refresh`, since their start time is not yet known.
+        timing via the batched :class:`~repro.dram.legality.
+        LegalityKernel` mirrors.  Refresh blackouts are handled by the
+        caller via :meth:`in_refresh`, since their start time is not
+        yet known.
+        """
+        earliest = self.kernel.earliest_issue(kind, rank, bank)
+        if earliest is None:
+            return None
+        refresh_end = self.refresh_end
+        if refresh_end is not None and refresh_end > earliest:
+            return refresh_end
+        return earliest
+
+    def earliest_issue_reference(
+        self, kind: CommandType, rank: int, bank: int
+    ) -> Optional[int]:
+        """The original object-walking combine; the kernel's oracle.
+
+        Kept for the legality differential tests: walks the live bank,
+        rank, and channel objects per query, so it is correct even when
+        those objects were mutated behind the kernel's back.
         """
         bank_earliest = self.ranks[rank].banks[bank].earliest_issue(kind)
         if bank_earliest is None:
@@ -126,9 +155,10 @@ class DramSystem:
 
     def can_issue(self, kind: CommandType, rank: int, bank: int, now: int) -> bool:
         """True when ``kind`` may legally issue to (rank, bank) at ``now``."""
-        if self.in_refresh(now):
+        refresh_end = self.refresh_end
+        if refresh_end is not None and now < refresh_end:
             return False
-        earliest = self.earliest_issue(kind, rank, bank)
+        earliest = self.kernel.earliest_issue(kind, rank, bank)
         return earliest is not None and now >= earliest
 
     def issue(self, kind: CommandType, rank: int, bank: int, row: int, now: int) -> None:
@@ -148,6 +178,11 @@ class DramSystem:
             )
         self.ranks[rank].issue(kind, bank, row, now)
         self.channel.issue(kind, now)
+        if kind is CommandType.ACTIVATE:
+            self.open_banks += 1
+        elif kind is CommandType.PRECHARGE:
+            self.open_banks -= 1
+        self.kernel.on_issue(kind, rank, bank)
 
     # -- completion timing ---------------------------------------------------
 

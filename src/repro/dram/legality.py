@@ -1,0 +1,370 @@
+"""Batched command-legality kernel: earliest-legal-issue as arrays.
+
+The original legality path answered "when may command X issue to
+(rank, bank)?" by walking three objects per query — bank, rank,
+channel — recombining the same timing terms every time.  This kernel
+keeps the *combined-component* form of that computation as flat
+per-bank arrays plus a handful of rank/channel scalars, updated
+incrementally on each issued command (an issue changes one bank's
+components, at most one rank's scalars, and the channel scalars).  A
+scalar query is then a couple of list indexes and ``max`` folds, and
+the batched :meth:`horizon` collapses "earliest possible issue across
+all banks of the channel" — the quantity the event engine's wake logic
+needs — into a single vector min.
+
+Components per flat bank index ``i = rank * num_banks + bank``
+(``None`` = the bank's state forbids the command):
+
+* ``act[i]``  = max(precharge_done, last_activate + tRC)        (closed)
+* ``pre[i]``  = max(act+tRAS, read+tRTP, write_end+tWR)         (open)
+* ``cas[i]``  = last_activate + tRCD                            (open)
+
+Rank scalars: ``rank_act`` (tRRD and the rolling four-activate tFAW
+window), ``rank_read`` (write-to-read turnaround, tWTR).  Channel
+scalars: ``cmd`` (one command per cycle), ``chan_read``/``chan_write``
+(tCCD and data-bus occupancy, offset by CL/WL).  The full earliest is
+the max of the bank component, the matching rank/channel scalars, and
+— folded by :class:`~repro.dram.dram_system.DramSystem` — any refresh
+blackout.
+
+**Invalidation rules**: the mirrors are valid only while every state
+mutation flows through :meth:`on_issue` / :meth:`on_refresh`, which
+:class:`~repro.dram.dram_system.DramSystem` guarantees for commands
+issued via ``DramSystem.issue`` and refreshes via
+``try_start_refresh``.  Code that pokes ``Bank``/``Rank``/``Channel``
+objects directly (some unit tests do) must call :meth:`sync_all`
+before querying the kernel.  ``DramSystem.earliest_issue_reference``
+retains the original object-walking combine as the oracle the
+differential tests pin this kernel against.
+
+Two interchangeable backends drive the batched min: ``numpy`` (a
+vector min over cached int64 arrays, rebuilt lazily per mutation
+generation) and pure-``python`` (a plain loop over the same lists).
+numpy remains an optional extra — ``auto`` selects it only when it
+imports *and* the channel is wide enough for vectorization to win
+(the paper's 8-bank config is not); `REPRO_LEGALITY_BACKEND` forces
+either backend, and both must agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from .commands import CommandType
+
+if TYPE_CHECKING:  # pragma: no cover - types only (avoids import cycle)
+    from .dram_system import DramSystem
+
+#: Kind-selection bits for :meth:`LegalityKernel.earliest_by_mask` /
+#: :meth:`LegalityKernel.horizon`.
+MASK_ACT = 1
+MASK_PRE = 2
+MASK_READ = 4
+MASK_WRITE = 8
+
+#: "Forbidden / no work" sentinel inside the numpy arrays; larger than
+#: any reachable cycle count, small enough that int64 max-folds with
+#: real timing terms cannot overflow.
+FORBID = 1 << 60
+
+#: Flat-bank count at or above which ``auto`` prefers the numpy
+#: backend; below it the per-call array overhead loses to the loop.
+AUTO_NUMPY_MIN_BANKS = 32
+
+_np = None
+_np_checked = False
+
+
+def _numpy():
+    """The numpy module, or None (numpy is strictly optional)."""
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:  # pragma: no cover - exercised via the no-numpy CI leg
+            import numpy
+        except ImportError:
+            numpy = None
+        _np = numpy
+    return _np
+
+
+def resolve_backend(num_flat_banks: int, choice: Optional[str] = None) -> str:
+    """Pick the batched backend: ``"numpy"`` or ``"python"``.
+
+    ``choice`` (default: the ``REPRO_LEGALITY_BACKEND`` env var)
+    may be ``auto``, ``numpy``, or ``python``.  Forcing ``numpy``
+    without numpy installed is an error — a silent fallback would
+    let the numpy differential leg pass without testing anything.
+    """
+    if choice is None:
+        choice = os.environ.get("REPRO_LEGALITY_BACKEND", "auto")
+    if choice == "python":
+        return "python"
+    if choice == "numpy":
+        if _numpy() is None:
+            raise RuntimeError(
+                "REPRO_LEGALITY_BACKEND=numpy but numpy is not importable"
+            )
+        return "numpy"
+    if choice != "auto":
+        raise ValueError(
+            f"unknown legality backend {choice!r}; "
+            "expected auto, numpy, or python"
+        )
+    if num_flat_banks >= AUTO_NUMPY_MIN_BANKS and _numpy() is not None:
+        return "numpy"
+    return "python"
+
+
+class LegalityKernel:
+    """Incremental earliest-legal-issue state for one memory channel."""
+
+    def __init__(self, dram: "DramSystem", backend: Optional[str] = None):
+        self.dram = dram
+        self.num_banks = dram.num_banks
+        self.num_ranks = dram.num_ranks
+        n = self.num_banks * self.num_ranks
+        self.num_flat_banks = n
+        self.backend = resolve_backend(n, backend)
+        # Canonical (python-list) component state; the numpy arrays are
+        # derived views rebuilt lazily when ``version`` moves.
+        self._act: List[Optional[int]] = [0] * n
+        self._pre: List[Optional[int]] = [None] * n
+        self._cas: List[Optional[int]] = [None] * n
+        self._rank_act: List[int] = [0] * self.num_ranks
+        self._rank_read: List[int] = [0] * self.num_ranks
+        self._cmd = 0
+        self._chan_read = 0
+        self._chan_write = 0
+        #: Mutation generation; bumped by every on_issue/on_refresh.
+        self.version = 0
+        self._np_version = -1
+        self._np_combined = None
+        self.sync_all()
+
+    # -- mirror maintenance -------------------------------------------------
+
+    def _sync_bank(self, rank: int, bank: int) -> None:
+        i = rank * self.num_banks + bank
+        b = self.dram.ranks[rank].banks[bank]
+        t = b.timing
+        if b.open_row is None:
+            act = b.precharge_done
+            alt = b.last_activate + t.t_rc
+            self._act[i] = alt if alt > act else act
+            self._pre[i] = None
+            self._cas[i] = None
+        else:
+            self._act[i] = None
+            pre = b.last_activate + t.t_ras
+            alt = b.last_read + t.t_rtp
+            if alt > pre:
+                pre = alt
+            alt = b.write_data_end + t.t_wr
+            if alt > pre:
+                pre = alt
+            self._pre[i] = pre
+            self._cas[i] = b.last_activate + t.t_rcd
+
+    def _sync_rank(self, rank: int) -> None:
+        r = self.dram.ranks[rank]
+        t = r.timing
+        act = r.last_activate + t.t_rrd
+        if len(r.activate_times) == 4:
+            alt = r.activate_times[0] + t.t_faw
+            if alt > act:
+                act = alt
+        self._rank_act[rank] = act
+        self._rank_read[rank] = r.write_data_end + t.t_wtr
+
+    def _sync_channel(self) -> None:
+        ch = self.dram.channel
+        t = ch.timing
+        cmd = ch.last_command + 1
+        self._cmd = cmd
+        cas = ch.last_cas + t.t_ccd
+        if cas < cmd:
+            cas = cmd
+        read = ch.data_bus_free - t.t_cl
+        self._chan_read = read if read > cas else cas
+        write = ch.data_bus_free - t.t_wl
+        self._chan_write = write if write > cas else cas
+
+    def sync_all(self) -> None:
+        """Rebuild every mirror from the live DRAM objects."""
+        for rank in range(self.num_ranks):
+            self._sync_rank(rank)
+            for bank in range(self.num_banks):
+                self._sync_bank(rank, bank)
+        self._sync_channel()
+        self.version += 1
+
+    def on_issue(self, kind: CommandType, rank: int, bank: int) -> None:
+        """Refresh the mirrors touched by ``kind`` issuing to (rank, bank).
+
+        One bank's components always change; rank scalars change only
+        for activates (tRRD/tFAW window) and writes (tWTR turnaround);
+        the channel scalars change on every command.
+        """
+        self._sync_bank(rank, bank)
+        if kind is CommandType.ACTIVATE or kind is CommandType.WRITE:
+            self._sync_rank(rank)
+        self._sync_channel()
+        self.version += 1
+
+    def on_refresh(self) -> None:
+        """An all-bank refresh moved every bank's ``precharge_done``."""
+        for rank in range(self.num_ranks):
+            for bank in range(self.num_banks):
+                self._sync_bank(rank, bank)
+        self.version += 1
+
+    # -- scalar queries ------------------------------------------------------
+
+    def earliest_issue(
+        self, kind: CommandType, rank: int, bank: int
+    ) -> Optional[int]:
+        """Earliest cycle ``kind`` may issue to (rank, bank), sans refresh.
+
+        ``None`` when bank state forbids the command.  Identical to the
+        object-walking ``DramSystem.earliest_issue_reference`` modulo
+        the refresh fold, which the DRAM system applies on top.
+        """
+        i = rank * self.num_banks + bank
+        if kind.is_cas:
+            t = self._cas[i]
+            if t is None:
+                return None
+            if kind is CommandType.READ:
+                alt = self._rank_read[rank]
+                if alt > t:
+                    t = alt
+                alt = self._chan_read
+            else:
+                alt = self._chan_write
+        elif kind is CommandType.ACTIVATE:
+            t = self._act[i]
+            if t is None:
+                return None
+            alt = self._rank_act[rank]
+            if alt > t:
+                t = alt
+            alt = self._cmd
+        else:  # PRECHARGE
+            t = self._pre[i]
+            if t is None:
+                return None
+            alt = self._cmd
+        return alt if alt > t else t
+
+    def earliest_by_mask(self, flat_bank: int, mask: int) -> Optional[int]:
+        """Min earliest-issue over the kinds selected by ``mask``.
+
+        ``mask`` is an OR of ``MASK_ACT``/``MASK_PRE``/``MASK_READ``/
+        ``MASK_WRITE``; kinds the bank state forbids contribute
+        nothing.  ``None`` when no selected kind is possible.
+        """
+        rank = flat_bank // self.num_banks
+        earliest: Optional[int] = None
+        if mask & MASK_ACT:
+            t = self._act[flat_bank]
+            if t is not None:
+                alt = self._rank_act[rank]
+                if alt > t:
+                    t = alt
+                if self._cmd > t:
+                    t = self._cmd
+                earliest = t
+        if mask & MASK_PRE:
+            t = self._pre[flat_bank]
+            if t is not None:
+                if self._cmd > t:
+                    t = self._cmd
+                if earliest is None or t < earliest:
+                    earliest = t
+        if mask & MASK_READ:
+            t = self._cas[flat_bank]
+            if t is not None:
+                alt = self._rank_read[rank]
+                if alt > t:
+                    t = alt
+                if self._chan_read > t:
+                    t = self._chan_read
+                if earliest is None or t < earliest:
+                    earliest = t
+        if mask & MASK_WRITE:
+            t = self._cas[flat_bank]
+            if t is not None:
+                if self._chan_write > t:
+                    t = self._chan_write
+                if earliest is None or t < earliest:
+                    earliest = t
+        return earliest
+
+    # -- batched horizon -----------------------------------------------------
+
+    def horizon(
+        self, flat_banks: Sequence[int], masks: Sequence[int]
+    ) -> Optional[int]:
+        """Min earliest-issue across ``(flat_banks[j], masks[j])`` pairs.
+
+        The one-shot "when could *any* of these banks next issue one of
+        the commands it needs" reduction that feeds the event engine's
+        wake computation.  Answers are exact, not conservative — both
+        backends compute the identical integer.
+        """
+        if not flat_banks:
+            return None
+        if self.backend == "numpy":
+            return self._horizon_numpy(flat_banks, masks)
+        earliest: Optional[int] = None
+        by_mask = self.earliest_by_mask
+        for flat, mask in zip(flat_banks, masks):
+            t = by_mask(flat, mask)
+            if t is not None and (earliest is None or t < earliest):
+                earliest = t
+        return earliest
+
+    def _combined_arrays(self):
+        """Per-kind fully-combined int64 arrays (lazily rebuilt)."""
+        if self._np_version == self.version:
+            return self._np_combined
+        np = _numpy()
+        act = np.array(
+            [FORBID if v is None else v for v in self._act], dtype=np.int64
+        )
+        pre = np.array(
+            [FORBID if v is None else v for v in self._pre], dtype=np.int64
+        )
+        cas = np.array(
+            [FORBID if v is None else v for v in self._cas], dtype=np.int64
+        )
+        rank_act = np.repeat(
+            np.array(self._rank_act, dtype=np.int64), self.num_banks
+        )
+        rank_read = np.repeat(
+            np.array(self._rank_read, dtype=np.int64), self.num_banks
+        )
+        self._np_combined = (
+            np.maximum(np.maximum(act, rank_act), self._cmd),
+            np.maximum(pre, self._cmd),
+            np.maximum(np.maximum(cas, rank_read), self._chan_read),
+            np.maximum(cas, self._chan_write),
+        )
+        self._np_version = self.version
+        return self._np_combined
+
+    def _horizon_numpy(
+        self, flat_banks: Sequence[int], masks: Sequence[int]
+    ) -> Optional[int]:
+        np = _numpy()
+        act_c, pre_c, read_c, write_c = self._combined_arrays()
+        idx = np.asarray(flat_banks, dtype=np.intp)
+        m = np.asarray(masks, dtype=np.int64)
+        sel = np.where(m & MASK_ACT, act_c[idx], FORBID)
+        sel = np.minimum(sel, np.where(m & MASK_PRE, pre_c[idx], FORBID))
+        sel = np.minimum(sel, np.where(m & MASK_READ, read_c[idx], FORBID))
+        sel = np.minimum(sel, np.where(m & MASK_WRITE, write_c[idx], FORBID))
+        best = int(sel.min())
+        return None if best >= FORBID else best

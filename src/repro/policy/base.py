@@ -13,8 +13,9 @@ A policy contributes up to four things:
    flags shape how the schedulers consume it:
 
    * ``memoize_keys`` — True (default) means a request's key is a pure
-     function of ``(request.vft_stamp, request fields)`` and may be
-     cached per request (the paper policies).  Stateful policies whose
+     function of the request's fields (including its cached VFT
+     estimate, refreshed under epoch stamps) and may be cached per
+     request (the paper policies).  Stateful policies whose
      keys read mutable policy state (BLISS's blacklist, MISE's
      slowdown table) must set it False so keys are recomputed on every
      scheduling pass.
@@ -56,6 +57,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Tuple
 
+from .packing import KeyField, pack_tuple
+
 if TYPE_CHECKING:  # pragma: no cover - types only (avoids import cycle)
     from ..controller.bank_scheduler import CandidateCommand
     from ..controller.request import MemoryRequest
@@ -84,8 +87,9 @@ class SchedulingPolicy:
     arrival_accounting: bool = False
     #: Paper §2.3: earliest virtual *start*-time priority.
     start_time_priority: bool = False
-    #: True when keys are pure in ``(vft_stamp, request)`` and may be
-    #: memoized per request; stateful policies must set False.
+    #: True when keys are pure in the request's fields (including its
+    #: epoch-stamped VFT estimate) and may be memoized per request;
+    #: stateful policies must set False.
     memoize_keys: bool = True
     #: True ranks the policy key above the CAS-over-RAS preference.
     key_over_cas: bool = False
@@ -113,6 +117,40 @@ class SchedulingPolicy:
     def request_key(self, request: "MemoryRequest") -> Tuple:
         """Ordering key — lower compares as higher priority."""
         raise NotImplementedError
+
+    # -- packed-int keys (see repro.policy.packing) -------------------------
+
+    def key_field_specs(self) -> Optional[Tuple[KeyField, ...]]:
+        """Declared bit-width layout of the key fields, or ``None``.
+
+        Returning a :class:`~repro.policy.packing.KeyField` tuple (one
+        per :meth:`key_field_names` entry, same order) opts the policy
+        into packed-int scheduling: the schedulers compare the single
+        int from :meth:`packed_key` instead of allocating the ordering
+        tuple per candidate.  ``None`` (the default) keeps the policy
+        on the tuple path — always correct, just slower.  A policy that
+        declares a layout promises every ``uint`` field stays within
+        its width for the lifetime of a run; the tuple path remains the
+        oracle either way.
+        """
+        return None
+
+    def packed_key(self, request: "MemoryRequest") -> int:
+        """:meth:`request_key` folded into one int per the declared layout.
+
+        The default packs :meth:`request_key`'s tuple through the
+        generic (checked) packer; hot policies override this with
+        hand-inlined shifts that skip both the tuple allocation and
+        the width checks.  Must order identically to ``request_key``:
+        ``packed_key(a) < packed_key(b)  ⟺  request_key(a) <
+        request_key(b)`` for all requests visible in one run.
+        """
+        specs = self.key_field_specs()
+        if specs is None:
+            raise NotImplementedError(
+                f"policy {self.name!r} declares no key layout"
+            )
+        return pack_tuple(specs, self.request_key(request))
 
     # -- lifecycle hooks (dispatched only when ``has_hooks``) --------------
 

@@ -239,7 +239,12 @@ class RunTelemetry:
         if inverted:
             self.inversions[thread] += 1
         if cand.kind.is_cas:
-            tracer.on_command_key(request, cand.key)
+            # Recompute the ordering tuple (cand.key may be a packed
+            # int); called before any issue mutation, so it matches the
+            # key the selection compared.
+            tracer.on_command_key(
+                request, scheduler.policy.request_key(request)
+            )
 
     def on_arbitration(self, now: int, ready_candidates: int) -> None:
         """The channel scheduler issued with ``ready_candidates`` ready."""
