@@ -23,13 +23,13 @@ when ``REPRO_BENCH_STRICT`` is set (the relative tripwire always is).
 """
 
 import json
-import os
 import platform
 from pathlib import Path
 from time import perf_counter
 
 from conftest import once
 
+from repro import env
 from repro.policy import SchedulingPolicy, register
 from repro.policy.packing import SEQ_BITS, TIME_BITS, KeyField
 from repro.sim.runner import default_warmup, run_workload
@@ -121,7 +121,7 @@ def test_policy_dispatch_overhead(benchmark, cycles):
         for engine, rate in engines.items():
             print(f"  {policy:12s} {engine:6s} {rate:10,.0f} cyc/s")
 
-    strict = bool(os.environ.get("REPRO_BENCH_STRICT"))
+    strict = env.truthy("REPRO_BENCH_STRICT")
     if strict:
         # Fail loudly — not with a KeyError deep in the gate loop —
         # when the gate is armed but the baseline block it compares

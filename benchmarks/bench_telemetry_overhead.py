@@ -23,13 +23,13 @@ Rates land in ``BENCH_telemetry.json`` at the repository root.
 
 import dataclasses
 import json
-import os
 import platform
 from pathlib import Path
 from time import perf_counter
 
 from conftest import once
 
+from repro import env
 from repro.sim.runner import default_warmup, run_workload
 from repro.sim.system import comparable_result
 from repro.telemetry import TRACE_ENV_VAR
@@ -68,7 +68,7 @@ def _rate(cycles: int, trace):
 
 
 def _measure_all(cycles: int):
-    assert not os.environ.get(TRACE_ENV_VAR), (
+    assert not env.raw(TRACE_ENV_VAR), (
         f"unset {TRACE_ENV_VAR} before benchmarking: the 'default' mode "
         "must measure the env-resolved disabled path"
     )

@@ -27,9 +27,9 @@ do not fork on it).
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Dict
 
+from .. import env
 from .invariants import InvariantViolation, SchedulerInvariantChecker
 from .protocol import CheckError, DramProtocolSanitizer, ProtocolViolation
 
@@ -58,8 +58,7 @@ def checks_enabled() -> bool:
     Any value other than the empty string, ``"0"``, or ``"false"``
     (case-insensitive) enables checking.
     """
-    value = os.environ.get(CHECK_ENV_VAR, "")
-    return value.strip().lower() not in ("", "0", "false")
+    return env.flag(CHECK_ENV_VAR)
 
 
 class RunChecker:

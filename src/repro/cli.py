@@ -170,9 +170,20 @@ def _run_trace(args, export: bool) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: regenerate figures/ablations; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The lint subcommand has its own argument surface (paths,
+        # --format, --rules, ...); dispatch before the experiment parser
+        # so its choices= validation never sees it.
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-fqms",
-        description="Fair Queuing Memory Systems (MICRO 2006) reproduction",
+        description="Fair Queuing Memory Systems (MICRO 2006) reproduction; "
+        "'repro-fqms lint' runs the contract-aware static analysis "
+        "(see 'repro-fqms lint --help')",
     )
     parser.add_argument(
         "experiment",

@@ -48,9 +48,9 @@ either backend, and both must agree bit-for-bit.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from .. import env
 from .commands import CommandType
 
 if TYPE_CHECKING:  # pragma: no cover - types only (avoids import cycle)
@@ -98,7 +98,7 @@ def resolve_backend(num_flat_banks: int, choice: Optional[str] = None) -> str:
     let the numpy differential leg pass without testing anything.
     """
     if choice is None:
-        choice = os.environ.get("REPRO_LEGALITY_BACKEND", "auto")
+        choice = env.text("REPRO_LEGALITY_BACKEND", "auto")
     if choice == "python":
         return "python"
     if choice == "numpy":

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` — same CLI as ``repro-fqms lint``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

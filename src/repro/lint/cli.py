@@ -1,0 +1,148 @@
+"""``repro-fqms lint`` — the static-analysis command line.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (argparse), 3 runtime
+tripwire exceeded (``--max-seconds``; CI pins the full-tree run under
+ten seconds so the lint step can never become the slow part of the
+pipeline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from . import registered_rules, rule_titles, run_lint
+from .emitters import render_json, render_sarif, render_text
+
+#: Default lint scope: the package sources and the maintenance scripts.
+DEFAULT_PATHS = ("src", "tools")
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_TRIPWIRE = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fqms lint",
+        description="Contract-aware static analysis (determinism, "
+        "fingerprint completeness, env audit, policy conformance, "
+        "wake contract, hot-path purity).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R1,R2",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        help="project root for documentation lookups (default: .)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fail with exit 3 if the run takes longer than S seconds",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        titles = rule_titles()
+        for rule in registered_rules():
+            print(f"{rule}  {titles[rule]}")
+        return EXIT_CLEAN
+
+    rules = None
+    if args.rules is not None:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        try:
+            for rule in rules:
+                from .registry import resolve
+
+                resolve(rule)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or [Path(p) for p in DEFAULT_PATHS]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such path: {', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Wall-clock timing of the *tool itself* — never simulation state.
+    started = time.perf_counter()  # lint: allow(DET002, lint runtime tripwire)
+    report = run_lint(paths, rules=rules, root=args.root)
+    elapsed = time.perf_counter() - started  # lint: allow(DET002, lint runtime tripwire)
+
+    if args.format == "text":
+        rendered = render_text(report)
+    elif args.format == "json":
+        rendered = render_json(report)
+    else:
+        rendered = render_sarif(report, rule_titles())
+
+    if args.out is not None:
+        args.out.write_text(rendered + "\n")
+        summary = (
+            f"{len(report.findings)} finding(s)"
+            if report.findings
+            else "clean"
+        )
+        print(
+            f"lint: {summary}; {report.files_checked} files, "
+            f"{elapsed:.2f}s -> {args.out}"
+        )
+    else:
+        print(rendered)
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(
+            f"error: lint took {elapsed:.2f}s, over the "
+            f"--max-seconds {args.max_seconds:.2f}s tripwire",
+            file=sys.stderr,
+        )
+        return EXIT_TRIPWIRE
+    return EXIT_FINDINGS if report.findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

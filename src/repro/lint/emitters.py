@@ -1,0 +1,192 @@
+"""Finding emitters: text, JSON, and SARIF 2.1.0.
+
+SARIF is the interchange format CI understands (GitHub code scanning,
+IDE plugins).  The repo takes no dependency on a schema library, so
+:func:`validate_sarif` hand-checks the structural subset this module
+emits — enough to catch a malformed document before CI uploads it, and
+pinned by the lint test suite so the emitted shape cannot drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .core import Finding, LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/fair-queuing-memory-systems"
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable findings, one per line, plus a summary."""
+    lines = [str(finding) for finding in report.findings]
+    if report.findings:
+        lines.append(f"{len(report.findings)} lint finding(s)")
+    else:
+        lines.append(
+            f"lint: clean ({report.files_checked} files, "
+            f"{len(report.rules)} rules, "
+            f"{len(report.suppressed)} suppressed)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "rules": report.rules,
+        "files_checked": report.files_checked,
+        "findings": [
+            {
+                "path": str(f.path),
+                "line": f.line,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+        "suppressed": len(report.suppressed),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sarif_document(report: LintReport, rule_titles: Dict[str, str]) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for one lint run (as plain dicts)."""
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": rule_titles.get(rule, rule)},
+        }
+        for rule in report.rules
+    ]
+    results = [_sarif_result(finding) for finding in report.findings]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def _sarif_result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": str(finding.path).replace("\\", "/"),
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, rule_titles: Dict[str, str]) -> str:
+    return json.dumps(sarif_document(report, rule_titles), indent=2)
+
+
+def validate_sarif(document: Any) -> List[str]:
+    """Structural problems with a SARIF document ([] when valid).
+
+    Checks the subset :func:`sarif_document` emits: version, runs,
+    tool.driver with named rules, and results whose ruleIds resolve and
+    whose locations carry a uri and a positive startLine.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty array")
+        return problems
+    for index, run in enumerate(runs):
+        where = f"runs[{index}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            problems.append(f"{where}.tool.driver.name missing")
+            continue
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        if not isinstance(rules, list):
+            problems.append(f"{where}.tool.driver.rules must be an array")
+            rules = []
+        for rule in rules:
+            rule_id = rule.get("id") if isinstance(rule, dict) else None
+            if not isinstance(rule_id, str):
+                problems.append(f"{where}: rule without a string id")
+            elif rule_id in rule_ids:
+                problems.append(f"{where}: duplicate rule id {rule_id!r}")
+            else:
+                rule_ids.add(rule_id)
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be an array")
+            continue
+        for rindex, result in enumerate(results):
+            rwhere = f"{where}.results[{rindex}]"
+            if not isinstance(result, dict):
+                problems.append(f"{rwhere} is not an object")
+                continue
+            rule_id = result.get("ruleId")
+            if not isinstance(rule_id, str):
+                problems.append(f"{rwhere}.ruleId missing")
+            elif rule_ids and rule_id not in rule_ids:
+                problems.append(
+                    f"{rwhere}.ruleId {rule_id!r} not declared in driver.rules"
+                )
+            message = result.get("message")
+            if not (
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str)
+            ):
+                problems.append(f"{rwhere}.message.text missing")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                problems.append(f"{rwhere}.locations must be non-empty")
+                continue
+            for location in locations:
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    problems.append(f"{rwhere}: location without physicalLocation")
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not (
+                    isinstance(artifact, dict)
+                    and isinstance(artifact.get("uri"), str)
+                ):
+                    problems.append(f"{rwhere}: artifactLocation.uri missing")
+                region = physical.get("region")
+                start = region.get("startLine") if isinstance(region, dict) else None
+                if not (isinstance(start, int) and start >= 1):
+                    problems.append(f"{rwhere}: region.startLine must be >= 1")
+    return problems

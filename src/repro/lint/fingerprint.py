@@ -1,0 +1,222 @@
+"""FPR100: cache-fingerprint completeness.
+
+The result cache's correctness rests on one invariant: every
+:class:`~repro.sim.config.SystemConfig` field that can change a
+simulation's outcome must flow into :func:`repro.sim.cache.fingerprint`.
+A field added to the config but missed by the fingerprint silently
+serves stale cached results for every sweep that varies it — the worst
+failure mode this repository has, because nothing crashes.
+
+This pass compares the dataclass's declared fields against what the
+fingerprint function statically consumes:
+
+* ``dataclasses.asdict(config)`` (the current implementation) consumes
+  every field at once; fields later removed from the resulting dict via
+  ``.pop("name")`` / ``del d["name"]`` are *un*-consumed.
+* Explicit attribute reads (``config.num_banks``) consume one field
+  each; this mode also reports reads of attributes that are not fields
+  (a stale fingerprint entry after a rename).
+
+Deliberately unfingerprinted fields must be listed in a module-level
+``FINGERPRINT_EXEMPT`` set of string literals next to the fingerprint
+function, each entry implicitly carrying the burden of proof that the
+field cannot affect results.  The real tree ships with no exemptions:
+every config field is semantically load-bearing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from .core import Finding, LintPass, const_str
+from .project import Project, dataclass_fields, is_dataclass
+from .registry import register
+
+#: The config dataclass whose fields must be fingerprinted.
+CONFIG_CLASS = "SystemConfig"
+#: The module-level function that must consume them.
+FINGERPRINT_FUNC = "fingerprint"
+#: Module-level allowlist of deliberately unfingerprinted fields.
+EXEMPT_NAME = "FINGERPRINT_EXEMPT"
+
+
+def _exempt_fields(tree: ast.Module) -> Set[str]:
+    """String entries of a module-level ``FINGERPRINT_EXEMPT`` collection."""
+    exempt: Set[str] = set()
+    for stmt in tree.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            continue
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == EXEMPT_NAME):
+            continue
+        value = stmt.value
+        if isinstance(value, ast.Call):  # frozenset({...}) / set([...])
+            value = value.args[0] if value.args else ast.Set(elts=[])
+        if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+            for elt in value.elts:
+                name = const_str(elt)
+                if name is not None:
+                    exempt.add(name)
+    return exempt
+
+
+class _ConsumptionVisitor(ast.NodeVisitor):
+    """What the fingerprint function consumes of its config parameter."""
+
+    def __init__(self, config_param: str):
+        self.config_param = config_param
+        self.asdict_used = False
+        self.attr_reads: Set[str] = set()
+        #: Names bound to the asdict(config) result, for removal tracking.
+        self.dict_names: Set[str] = set()
+        self.removed: Set[str] = set()
+
+    def _is_asdict_of_config(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name != "asdict" or not node.args:
+            return False
+        arg = node.args[0]
+        return isinstance(arg, ast.Name) and arg.id == self.config_param
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_asdict_of_config(node):
+            self.asdict_used = True
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "pop"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.dict_names
+            and node.args
+        ):
+            popped = const_str(node.args[0])
+            if popped is not None:
+                self.removed.add(popped)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_asdict_of_config(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.dict_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in self.dict_names
+            ):
+                removed = const_str(target.slice)
+                if removed is not None:
+                    self.removed.add(removed)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == self.config_param
+            and isinstance(node.ctx, ast.Load)
+        ):
+            self.attr_reads.add(node.attr)
+        self.generic_visit(node)
+
+
+def _config_param(node: ast.FunctionDef) -> Optional[str]:
+    """The fingerprint function's config parameter name."""
+    params = [a.arg for a in (*node.args.posonlyargs, *node.args.args)]
+    if "config" in params:
+        return "config"
+    return params[0] if params else None
+
+
+@register
+class FingerprintCompletenessPass(LintPass):
+    rule = "FPR100"
+    title = "every SystemConfig field must reach the cache fingerprint"
+
+    def _locate(
+        self, project: Project
+    ) -> Optional[Tuple[List[str], "object", ast.FunctionDef]]:
+        located = project.find_class(CONFIG_CLASS)
+        if located is None:
+            return None
+        config_file, config_node = located
+        if not is_dataclass(config_node):
+            return None
+        fn = project.find_function(FINGERPRINT_FUNC)
+        if fn is None:
+            return None
+        fp_file, fp_node = fn
+        return dataclass_fields(config_node), fp_file, fp_node
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        located = self._locate(project)
+        if located is None:
+            return []
+        fields, fp_file, fp_node = located
+        param = _config_param(fp_node)
+        if param is None:
+            return [
+                Finding(
+                    fp_file.path,
+                    fp_node.lineno,
+                    self.rule,
+                    f"{FINGERPRINT_FUNC}() takes no config parameter; "
+                    f"cannot verify {CONFIG_CLASS} coverage",
+                )
+            ]
+        visitor = _ConsumptionVisitor(param)
+        visitor.visit(fp_node)
+
+        exempt = _exempt_fields(fp_file.tree)
+        findings: List[Finding] = []
+        field_set = set(fields)
+
+        for stale in sorted(exempt - field_set):
+            findings.append(
+                Finding(
+                    fp_file.path,
+                    fp_node.lineno,
+                    self.rule,
+                    f"{EXEMPT_NAME} names '{stale}', which is not a "
+                    f"{CONFIG_CLASS} field (stale exemption)",
+                )
+            )
+
+        if visitor.asdict_used:
+            consumed = field_set - visitor.removed
+        else:
+            consumed = visitor.attr_reads & field_set
+            for stale in sorted(visitor.attr_reads - field_set):
+                findings.append(
+                    Finding(
+                        fp_file.path,
+                        fp_node.lineno,
+                        self.rule,
+                        f"{FINGERPRINT_FUNC}() reads config.{stale}, which "
+                        f"is not a {CONFIG_CLASS} field (stale fingerprint "
+                        "entry?)",
+                    )
+                )
+
+        for missing in (f for f in fields if f not in consumed | exempt):
+            findings.append(
+                Finding(
+                    fp_file.path,
+                    fp_node.lineno,
+                    self.rule,
+                    f"{CONFIG_CLASS} field '{missing}' never reaches "
+                    f"{FINGERPRINT_FUNC}(); a sweep varying it would be "
+                    "served stale cached results (add it to the payload "
+                    f"or to {EXEMPT_NAME} with justification)",
+                )
+            )
+        return findings

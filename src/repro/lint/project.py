@@ -1,0 +1,132 @@
+"""Project model: the file set a lint run analyzes, plus lookups.
+
+A :class:`Project` expands the paths given on the command line into a
+sorted list of ``*.py`` :class:`~repro.lint.core.SourceFile` objects and
+offers the cross-file lookups the contract passes need — find a class
+or function by name anywhere in the tree, enumerate dataclass fields,
+and read the project documentation (for the env-var table audit).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .core import SourceFile, decorator_names
+
+#: Documentation files scanned by passes that audit prose (ENV200).
+DOC_FILES = ("README.md", "docs/INTERNALS.md")
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen = {}
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen[str(candidate)] = candidate
+        elif path.suffix == ".py":
+            seen[str(path)] = path
+    return [seen[key] for key in sorted(seen)]
+
+
+class Project:
+    """The parsed file set for one lint run."""
+
+    def __init__(self, files: Iterable[SourceFile], root: Optional[Path] = None):
+        self.files: List[SourceFile] = list(files)
+        self.root = Path(root) if root is not None else Path(".")
+        self._docs_text: Optional[str] = None
+
+    @classmethod
+    def load(cls, paths: Iterable[Path], root: Optional[Path] = None) -> "Project":
+        return cls(
+            (SourceFile(path) for path in iter_python_files(paths)), root=root
+        )
+
+    def parsed(self) -> List[SourceFile]:
+        return [file for file in self.files if file.tree is not None]
+
+    # -- documentation -----------------------------------------------------
+
+    @property
+    def docs_text(self) -> str:
+        """Concatenated text of the project docs (empty if none exist)."""
+        if self._docs_text is None:
+            chunks = []
+            for name in DOC_FILES:
+                doc = self.root / name
+                if doc.is_file():
+                    chunks.append(doc.read_text())
+            self._docs_text = "\n".join(chunks)
+        return self._docs_text
+
+    @property
+    def has_docs(self) -> bool:
+        return bool(self.docs_text.strip())
+
+    # -- cross-file AST lookups --------------------------------------------
+
+    def find_class(self, name: str) -> Optional[Tuple[SourceFile, ast.ClassDef]]:
+        for file in self.parsed():
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    return file, node
+        return None
+
+    def find_function(
+        self, name: str
+    ) -> Optional[Tuple[SourceFile, ast.FunctionDef]]:
+        """First module-level function with this name anywhere in the tree."""
+        for file in self.parsed():
+            for node in file.tree.body:
+                if isinstance(node, ast.FunctionDef) and node.name == name:
+                    return file, node
+        return None
+
+    def file_named(self, *suffix: str) -> Optional[SourceFile]:
+        """The parsed file whose path ends with the given parts."""
+        for file in self.parsed():
+            if file.parts[-len(suffix):] == suffix:
+                return file
+        return None
+
+
+def dataclass_fields(node: ast.ClassDef) -> List[str]:
+    """Field names of a dataclass body, in declaration order.
+
+    Only annotated assignments count (matching ``dataclasses.fields``);
+    ``ClassVar`` annotations and dunder assignments are skipped.
+    """
+    names: List[str] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        annotation = ast.unparse(stmt.annotation) if stmt.annotation else ""
+        if "ClassVar" in annotation:
+            continue
+        names.append(stmt.target.id)
+    return names
+
+
+def is_dataclass(node: ast.ClassDef) -> bool:
+    return "dataclass" in decorator_names(node)
+
+
+def module_constants(tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` string constants."""
+    table: Dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                table[target.id] = stmt.value.value
+    return table

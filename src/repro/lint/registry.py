@@ -1,0 +1,56 @@
+"""Pass registry: rule id → :class:`~repro.lint.core.LintPass`.
+
+Mirrors the idiom of :mod:`repro.policy.registry`: a module-level table,
+an explicit :func:`register` hook for out-of-tree passes, and a lazy
+bootstrap that imports the built-in pass modules on first lookup so
+``import repro.lint`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .core import LintPass
+
+_REGISTRY: Dict[str, Type[LintPass]] = {}
+_BOOTSTRAPPED = False
+
+
+def register(pass_cls: Type[LintPass]) -> Type[LintPass]:
+    """Register a pass class under its rule id (usable as a decorator)."""
+    rule = pass_cls.rule
+    existing = _REGISTRY.get(rule)
+    if existing is not None and existing is not pass_cls:
+        raise ValueError(f"duplicate lint rule {rule!r}: {existing} vs {pass_cls}")
+    _REGISTRY[rule] = pass_cls
+    return pass_cls
+
+
+def _ensure_registered() -> None:
+    """Import built-in pass modules exactly once (registration side effect)."""
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    from . import conformance, determinism, envaudit, fingerprint, hotpath  # noqa: F401
+
+
+def registered_rules() -> List[str]:
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def resolve(rule: str) -> Type[LintPass]:
+    _ensure_registered()
+    try:
+        return _REGISTRY[rule]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown lint rule {rule!r}; registered: {known}") from None
+
+
+def make_passes(rules=None) -> List[LintPass]:
+    """Instantiate the selected passes (all registered rules by default)."""
+    _ensure_registered()
+    selected = registered_rules() if rules is None else list(rules)
+    return [resolve(rule)() for rule in selected]

@@ -30,9 +30,10 @@ differential run can prove packed selection bit-identical.
 
 from __future__ import annotations
 
-import os
 from struct import Struct
 from typing import NamedTuple, Tuple
+
+from .. import env
 
 #: Bits for monotonically-growing cycle-valued fields (arrival times,
 #: service counters): 2**44 cycles ≈ 1.7e13, far past any run length.
@@ -82,7 +83,7 @@ def packed_keys_enabled() -> bool:
     ``REPRO_PACKED_KEYS=0`` forces the tuple oracle everywhere — the
     differential lever the packed-vs-tuple harness tests pull.
     """
-    return os.environ.get("REPRO_PACKED_KEYS", "1") != "0"
+    return env.text("REPRO_PACKED_KEYS", "1") != "0"
 
 
 def total_bits(specs: Tuple[KeyField, ...]) -> int:

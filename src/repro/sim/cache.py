@@ -35,6 +35,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
+from .. import env
 from .system import SimResult, ThreadResult
 
 #: Bump when the stored JSON layout changes shape.
@@ -52,7 +53,7 @@ def code_salt() -> str:
     Baked into every fingerprint so a simulator code change can never
     satisfy a lookup with results computed by older code.
     """
-    override = os.environ.get("REPRO_CACHE_SALT")
+    override = env.raw("REPRO_CACHE_SALT")
     if override:
         return override
     global _code_salt_memo
@@ -213,10 +214,10 @@ def active_cache() -> Optional[ResultCache]:
     """The process-wide cache, configured from the environment on first use."""
     global _active
     if _active is _UNSET:
-        if os.environ.get("REPRO_NO_CACHE"):
+        if env.truthy("REPRO_NO_CACHE"):
             _active = None
         else:
-            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+            root = env.raw("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
             _active = ResultCache(root)
     return _active
 

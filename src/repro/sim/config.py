@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import List, Optional
+
+from .. import env
 
 from ..cpu.cache import CacheConfig, L1D_CONFIG, L1I_CONFIG, L2_CONFIG
 from ..cpu.core_model import CoreConfig
@@ -20,7 +21,7 @@ ENGINES = ("cycle", "event")
 
 def default_engine() -> str:
     """Engine selected by ``REPRO_ENGINE`` (default: ``event``)."""
-    value = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+    value = env.text(ENGINE_ENV_VAR).strip().lower()
     return value if value else "event"
 
 

@@ -23,11 +23,11 @@ everything runs in-process.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import env
 from ..policy import BASELINE_POLICY, canonical
 from ..workloads.spec2000 import profile as lookup_profile
 from ..workloads.synthetic import BenchmarkProfile
@@ -114,7 +114,7 @@ def execute_spec(spec: RunSpec) -> SimResult:
 def default_jobs() -> int:
     """Worker count when ``jobs`` is unspecified (``REPRO_JOBS``, else 1)."""
     try:
-        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        jobs = int(env.text("REPRO_JOBS", "1"))
     except ValueError:
         return 1
     return max(1, jobs)

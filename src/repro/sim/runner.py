@@ -17,10 +17,10 @@ for a higher-fidelity regeneration.
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
+from .. import env
 from ..core.shares import equal_shares
 from ..policy import BASELINE_POLICY
 from ..workloads.spec2000 import profile as lookup_profile
@@ -31,7 +31,7 @@ from .parallel import RunSpec, execute_spec, group_spec, solo_spec
 from .system import CmpSystem, SimResult
 
 #: Default measurement window in cycles (override via REPRO_SIM_CYCLES).
-DEFAULT_CYCLES = int(os.environ.get("REPRO_SIM_CYCLES", "60000"))
+DEFAULT_CYCLES = int(env.text("REPRO_SIM_CYCLES", "60000"))
 #: Warmup fraction applied before the measurement window opens.
 WARMUP_FRACTION = 0.25
 
@@ -50,13 +50,7 @@ DEFAULT_MEMO_CAP = 4096
 
 
 def _memo_cap() -> int:
-    value = os.environ.get(MEMO_CAP_ENV_VAR, "").strip()
-    if not value:
-        return DEFAULT_MEMO_CAP
-    cap = int(value)
-    if cap <= 0:
-        raise ValueError(f"{MEMO_CAP_ENV_VAR} must be positive, got {cap}")
-    return cap
+    return env.positive_int(MEMO_CAP_ENV_VAR, DEFAULT_MEMO_CAP)
 
 
 #: In-process memo: spec → result object (identity-stable per process

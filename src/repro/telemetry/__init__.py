@@ -28,8 +28,9 @@ this package is a DET006 determinism-lint error.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .. import env
 
 from .lifecycle import (
     DEFAULT_RING_CAPACITY,
@@ -84,30 +85,17 @@ def trace_enabled() -> bool:
     :func:`repro.check.checks_enabled`, and propagated the same way
     (worker processes inherit the environment).
     """
-    value = os.environ.get(TRACE_ENV_VAR, "")
-    return value.strip().lower() not in ("", "0", "false")
+    return env.flag(TRACE_ENV_VAR)
 
 
 def trace_period(default: int = DEFAULT_SAMPLE_PERIOD) -> int:
     """Sampling period in cycles (``REPRO_TRACE_PERIOD`` or default)."""
-    value = os.environ.get(TRACE_PERIOD_ENV_VAR, "").strip()
-    if not value:
-        return default
-    period = int(value)
-    if period <= 0:
-        raise ValueError(f"{TRACE_PERIOD_ENV_VAR} must be positive, got {period}")
-    return period
+    return env.positive_int(TRACE_PERIOD_ENV_VAR, default)
 
 
 def trace_ring_capacity(default: int = DEFAULT_RING_CAPACITY) -> int:
     """Per-thread lifecycle ring capacity (``REPRO_TRACE_RING`` or default)."""
-    value = os.environ.get(TRACE_RING_ENV_VAR, "").strip()
-    if not value:
-        return default
-    capacity = int(value)
-    if capacity <= 0:
-        raise ValueError(f"{TRACE_RING_ENV_VAR} must be positive, got {capacity}")
-    return capacity
+    return env.positive_int(TRACE_RING_ENV_VAR, default)
 
 
 class RunTelemetry:

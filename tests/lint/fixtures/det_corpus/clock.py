@@ -1,0 +1,9 @@
+"""DET002 corpus: wall-clock reads and a suppressed one."""
+
+import time
+from datetime import datetime
+
+start = time.time()
+mono = time.perf_counter()
+stamp = datetime.now()
+benign = time.time()  # det: allow(fixture: host-side timing)

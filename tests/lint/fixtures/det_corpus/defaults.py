@@ -1,0 +1,14 @@
+"""DET005 corpus: mutable default arguments."""
+
+
+def enqueue(item, queue=[]):
+    queue.append(item)
+    return queue
+
+
+def tally(counts=dict()):
+    return counts
+
+
+def fine(item, queue=None):
+    return queue or [item]

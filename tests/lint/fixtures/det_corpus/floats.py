@@ -1,0 +1,13 @@
+"""DET004 corpus: float equality on virtual-time priority fields."""
+
+
+def tie(a, b):
+    return a.virtual_finish_time == b.virtual_finish_time
+
+
+def moved(vtms, snapshot):
+    return vtms.clock != snapshot
+
+
+def earlier(a, b):
+    return a.virtual_finish_time < b.virtual_finish_time

@@ -1,0 +1,7 @@
+"""DET007 corpus: banned imports inside a policy package path."""
+
+import random  # this line carries DET007 (import) and nothing else
+
+from .base import something  # relative imports are fine
+
+_ = (random, something)

@@ -1,0 +1,12 @@
+"""DET001 corpus: global-RNG calls, from-imports, and suppressions."""
+
+import random
+from random import shuffle  # one DET001 finding for the from-import
+
+value = random.randint(0, 7)
+allowed = random.random()  # det: allow(fixture: deliberate global draw)
+
+rng = random.Random(42)
+seeded = rng.randint(0, 7)
+
+_ = shuffle

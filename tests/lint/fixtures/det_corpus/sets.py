@@ -1,0 +1,15 @@
+"""DET003 corpus: set iteration, blessed reducers, sorted wrapping."""
+
+pending = {1, 2, 3}
+
+for item in pending:
+    print(item)
+
+doubled = [x * 2 for x in pending]
+
+best = min(x for x in pending)
+total = sum(pending)
+stable = sorted(pending)
+
+for item in sorted(pending):
+    print(item)

@@ -1,0 +1,9 @@
+"""DET006 corpus: banned imports inside a telemetry package path."""
+
+import time
+from datetime import datetime
+
+import os  # fine: os is not a banned module
+
+allowed_import = None
+_ = (time, datetime, os)

@@ -1,0 +1,181 @@
+"""ENV200: the REPRO_* environment-variable registry audit."""
+
+REGISTRY = """
+    from dataclasses import dataclass
+    import os
+
+
+    @dataclass(frozen=True)
+    class EnvVar:
+        name: str
+        fingerprint_relevant: bool
+        description: str = ""
+
+
+    ENV_VARS = (
+        EnvVar("REPRO_ENGINE", fingerprint_relevant=True),
+        EnvVar("REPRO_TRACE", fingerprint_relevant=False),
+    )
+
+
+    def raw(name, default=None):
+        return os.environ.get(name, default)
+"""
+
+
+class TestRegistryModule:
+    def test_registry_plus_accessor_use_is_clean(self, project_of, run_rule):
+        project = project_of({
+            "env.py": REGISTRY,
+            "user.py": """
+                from . import env
+
+                def engine():
+                    return env.raw("REPRO_ENGINE")
+            """,
+        })
+        assert run_rule("ENV200", project) == []
+
+    def test_second_registry_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "env.py": REGISTRY,
+            "env2.py": REGISTRY,
+        })
+        findings = run_rule("ENV200", project)
+        assert any("second ENV_VARS registry" in f.message for f in findings)
+
+    def test_missing_relevance_literal_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "env.py": """
+                from dataclasses import dataclass
+
+
+                @dataclass(frozen=True)
+                class EnvVar:
+                    name: str
+                    fingerprint_relevant: bool
+
+
+                def _relevance():
+                    return True
+
+
+                ENV_VARS = (
+                    EnvVar("REPRO_ENGINE", fingerprint_relevant=_relevance()),
+                )
+            """,
+        })
+        findings = run_rule("ENV200", project)
+        assert len(findings) == 1
+        assert "fingerprint_relevant" in findings[0].message
+
+
+class TestDirectReads:
+    def test_direct_read_outside_registry_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "env.py": REGISTRY,
+            "rogue.py": """
+                import os
+
+                def engine():
+                    return os.environ.get("REPRO_ENGINE", "event")
+            """,
+        })
+        findings = run_rule("ENV200", project)
+        assert len(findings) == 1
+        assert "outside the env registry" in findings[0].message
+        assert str(findings[0].path) == "rogue.py"
+
+    def test_undeclared_read_is_doubly_flagged(self, project_of, run_rule):
+        project = project_of({
+            "env.py": REGISTRY,
+            "rogue.py": """
+                import os
+
+                def secret():
+                    return os.getenv("REPRO_SECRET_KNOB")
+            """,
+        })
+        messages = [f.message for f in run_rule("ENV200", project)]
+        assert len(messages) == 2
+        assert any("outside the env registry" in m for m in messages)
+        assert any("not declared in ENV_VARS" in m for m in messages)
+
+    def test_name_resolved_through_module_constant(self, project_of, run_rule):
+        project = project_of({
+            "env.py": REGISTRY,
+            "rogue.py": """
+                import os
+
+                KNOB = "REPRO_TRACE"
+
+                def trace():
+                    return os.getenv(KNOB)
+            """,
+        })
+        findings = run_rule("ENV200", project)
+        assert len(findings) == 1
+        assert "'REPRO_TRACE'" in findings[0].message
+
+    def test_subscript_read_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "env.py": REGISTRY,
+            "rogue.py": """
+                import os
+
+                def engine():
+                    return os.environ["REPRO_ENGINE"]
+            """,
+        })
+        findings = run_rule("ENV200", project)
+        assert len(findings) == 1
+
+    def test_environ_write_is_exempt(self, project_of, run_rule):
+        project = project_of({
+            "env.py": REGISTRY,
+            "cli.py": """
+                import os
+
+                def export():
+                    os.environ["REPRO_ENGINE"] = "cycle"
+            """,
+        })
+        assert run_rule("ENV200", project) == []
+
+    def test_non_repro_names_ignored(self, project_of, run_rule):
+        project = project_of({
+            "other.py": """
+                import os
+
+                def home():
+                    return os.environ.get("HOME")
+            """,
+        })
+        assert run_rule("ENV200", project) == []
+
+
+class TestDocumentation:
+    def test_undocumented_knob_flagged_when_docs_exist(
+        self, tmp_path, project_of, run_rule
+    ):
+        (tmp_path / "README.md").write_text(
+            "| `REPRO_ENGINE` | yes | engine selection |\n"
+        )
+        project = project_of({"env.py": REGISTRY}, root=tmp_path)
+        findings = run_rule("ENV200", project)
+        assert len(findings) == 1
+        assert "'REPRO_TRACE'" in findings[0].message
+        assert "undocumented" in findings[0].message
+
+    def test_fully_documented_registry_is_clean(
+        self, tmp_path, project_of, run_rule
+    ):
+        (tmp_path / "README.md").write_text(
+            "`REPRO_ENGINE` and `REPRO_TRACE` are documented here.\n"
+        )
+        project = project_of({"env.py": REGISTRY}, root=tmp_path)
+        assert run_rule("ENV200", project) == []
+
+    def test_no_docs_means_no_doc_findings(self, tmp_path, project_of, run_rule):
+        project = project_of({"env.py": REGISTRY}, root=tmp_path)
+        assert run_rule("ENV200", project) == []

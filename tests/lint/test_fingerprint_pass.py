@@ -1,0 +1,169 @@
+"""FPR100: cache-fingerprint completeness, including the mutation sweep
+over every real SystemConfig field."""
+
+import dataclasses
+
+from repro.sim.config import SystemConfig
+
+FIELD_NAMES = [f.name for f in dataclasses.fields(SystemConfig)]
+
+
+def config_source(fields=("alpha", "beta")):
+    lines = [
+        "from dataclasses import dataclass",
+        "",
+        "@dataclass",
+        "class SystemConfig:",
+    ]
+    lines += [f"    {name}: int = 0" for name in fields]
+    return "\n".join(lines) + "\n"
+
+
+def explicit_fingerprint(fields, exclude=()):
+    reads = "".join(
+        f"        config.{name},\n" for name in fields if name not in exclude
+    )
+    return (
+        "def fingerprint(config):\n"
+        "    payload = (\n" + reads + "    )\n"
+        "    return hash(payload)\n"
+    )
+
+
+class TestAsdictMode:
+    def test_asdict_consumes_every_field(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(),
+            "cache.py": """
+                from dataclasses import asdict
+
+                def fingerprint(config):
+                    return sorted(asdict(config).items())
+            """,
+        })
+        assert run_rule("FPR100", project) == []
+
+    def test_popped_field_is_unconsumed(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(),
+            "cache.py": """
+                from dataclasses import asdict
+
+                def fingerprint(config):
+                    payload = asdict(config)
+                    payload.pop("beta")
+                    return sorted(payload.items())
+            """,
+        })
+        findings = run_rule("FPR100", project)
+        assert len(findings) == 1
+        assert "'beta'" in findings[0].message
+        assert findings[0].rule == "FPR100"
+
+    def test_del_subscript_is_unconsumed(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(),
+            "cache.py": """
+                from dataclasses import asdict
+
+                def fingerprint(config):
+                    payload = asdict(config)
+                    del payload["alpha"]
+                    return sorted(payload.items())
+            """,
+        })
+        findings = run_rule("FPR100", project)
+        assert len(findings) == 1
+        assert "'alpha'" in findings[0].message
+
+    def test_exempt_allowlist_covers_removal(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(),
+            "cache.py": """
+                from dataclasses import asdict
+
+                FINGERPRINT_EXEMPT = {"beta"}
+
+                def fingerprint(config):
+                    payload = asdict(config)
+                    payload.pop("beta")
+                    return sorted(payload.items())
+            """,
+        })
+        assert run_rule("FPR100", project) == []
+
+    def test_stale_exemption_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(),
+            "cache.py": """
+                from dataclasses import asdict
+
+                FINGERPRINT_EXEMPT = {"renamed_away"}
+
+                def fingerprint(config):
+                    return sorted(asdict(config).items())
+            """,
+        })
+        findings = run_rule("FPR100", project)
+        assert len(findings) == 1
+        assert "stale exemption" in findings[0].message
+
+
+class TestExplicitReadMode:
+    def test_complete_enumeration_is_clean(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(),
+            "cache.py": explicit_fingerprint(("alpha", "beta")),
+        })
+        assert run_rule("FPR100", project) == []
+
+    def test_missing_read_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(),
+            "cache.py": explicit_fingerprint(("alpha", "beta"), exclude={"beta"}),
+        })
+        findings = run_rule("FPR100", project)
+        assert len(findings) == 1
+        assert "'beta'" in findings[0].message
+        assert "stale cached results" in findings[0].message
+
+    def test_stale_attribute_read_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(fields=("alpha",)),
+            "cache.py": """
+                def fingerprint(config):
+                    return (config.alpha, config.removed_long_ago)
+            """,
+        })
+        findings = run_rule("FPR100", project)
+        assert len(findings) == 1
+        assert "removed_long_ago" in findings[0].message
+
+    def test_absent_config_class_is_silent(self, project_of, run_rule):
+        project = project_of({"other.py": "def fingerprint(config):\n    return 0\n"})
+        assert run_rule("FPR100", project) == []
+
+
+class TestMutationSweep:
+    """Regenerate the fingerprint with each *real* SystemConfig field
+    deleted in turn; FPR100 must name every single one."""
+
+    def test_real_field_list_is_nontrivial(self):
+        assert len(FIELD_NAMES) >= 10
+
+    def test_full_enumeration_of_real_fields_is_clean(self, project_of, run_rule):
+        project = project_of({
+            "config.py": config_source(FIELD_NAMES),
+            "cache.py": explicit_fingerprint(FIELD_NAMES),
+        })
+        assert run_rule("FPR100", project) == []
+
+    def test_every_field_deletion_is_caught(self, project_of, run_rule):
+        for name in FIELD_NAMES:
+            project = project_of({
+                "config.py": config_source(FIELD_NAMES),
+                "cache.py": explicit_fingerprint(FIELD_NAMES, exclude={name}),
+            })
+            findings = run_rule("FPR100", project)
+            assert len(findings) == 1, f"deleting {name!r} must yield one finding"
+            assert f"'{name}'" in findings[0].message

@@ -1,0 +1,146 @@
+"""Framework mechanics: suppressions, registry, rule selection, driver."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import registered_rules, rule_titles, run_lint
+from repro.lint.core import (
+    PARSE_ERROR_RULE,
+    Finding,
+    SourceFile,
+    parse_suppressions,
+    sort_findings,
+)
+from repro.lint.registry import resolve
+
+ALL_RULES = (
+    "DET001", "DET002", "DET003", "DET004", "DET005", "DET006", "DET007",
+    "ENV200", "FPR100", "HOT500", "POL300", "WAKE400",
+)
+
+
+class TestSuppressionParsing:
+    def test_lint_allow_with_reason(self):
+        table = parse_suppressions("x = 1  # lint: allow(DET002, harness timing)\n")
+        (supp,) = table[1]
+        assert supp.rule == "DET002"
+        assert supp.reason == "harness timing"
+        assert supp.covers("DET002")
+        assert not supp.covers("DET001")
+        assert not supp.covers("FPR100")
+
+    def test_lint_allow_non_det_rule(self):
+        table = parse_suppressions("y = 2  # lint: allow(HOT500, cold path)\n")
+        (supp,) = table[1]
+        assert supp.covers("HOT500")
+        assert not supp.covers("DET002")
+
+    def test_legacy_det_allow_covers_any_det_rule(self):
+        table = parse_suppressions("z = 3  # det: allow(legacy reason)\n")
+        (supp,) = table[1]
+        assert supp.rule is None
+        assert supp.covers("DET001")
+        assert supp.covers("DET007")
+        assert not supp.covers("FPR100")
+
+    def test_lines_without_allow_are_absent(self):
+        assert parse_suppressions("a = 1\nb = 2\n") == {}
+
+
+class TestSourceFile:
+    def test_parse_error_carries_det000(self):
+        file = SourceFile(Path("bad.py"), source="def broken(:\n")
+        assert file.tree is None
+        assert file.parse_error.rule == PARSE_ERROR_RULE
+
+    def test_suppressed_matches_line_and_rule(self):
+        file = SourceFile(
+            Path("ok.py"),
+            source="import time\nt = time.time()  # lint: allow(DET002, x)\n",
+        )
+        hit = Finding(Path("ok.py"), 2, "DET002", "wall clock")
+        miss_line = Finding(Path("ok.py"), 1, "DET002", "wall clock")
+        miss_rule = Finding(Path("ok.py"), 2, "DET001", "rng")
+        assert file.suppressed(hit)
+        assert not file.suppressed(miss_line)
+        assert not file.suppressed(miss_rule)
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert tuple(registered_rules()) == ALL_RULES
+
+    def test_every_rule_has_a_title(self):
+        titles = rule_titles()
+        for rule in ALL_RULES:
+            assert titles[rule]
+
+    def test_resolve_unknown_rule_lists_catalog(self):
+        with pytest.raises(ValueError) as error:
+            resolve("NOPE999")
+        assert "NOPE999" in str(error.value)
+        assert "FPR100" in str(error.value)
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestRunLint:
+    def test_findings_reported_and_sorted(self, tmp_path):
+        write(tmp_path, "hazards.py", """
+            import time
+
+            def tick(queue=[]):
+                return time.time()
+        """)
+        report = run_lint([tmp_path])
+        assert [f.rule for f in report.findings] == ["DET005", "DET002"]
+        assert report.files_checked == 1
+        assert not report.clean
+
+    def test_suppressions_counted_not_fatal(self, tmp_path):
+        write(tmp_path, "timed.py", """
+            import time
+            start = time.perf_counter()  # lint: allow(DET002, tool timing)
+            legacy = time.time()  # det: allow(old spelling)
+        """)
+        report = run_lint([tmp_path])
+        assert report.clean
+        assert [f.rule for f in report.suppressed] == ["DET002", "DET002"]
+
+    def test_rule_selection_limits_passes(self, tmp_path):
+        write(tmp_path, "hazards.py", """
+            import time
+
+            def tick(queue=[]):
+                return time.time()
+        """)
+        report = run_lint([tmp_path], rules=["DET002"])
+        assert report.rules == ["DET002"]
+        assert [f.rule for f in report.findings] == ["DET002"]
+
+    def test_parse_error_reported_once(self, tmp_path):
+        write(tmp_path, "broken.py", "def broken(:\n")
+        report = run_lint([tmp_path])
+        assert [f.rule for f in report.findings] == [PARSE_ERROR_RULE]
+
+
+def test_sort_findings_orders_by_path_line_rule():
+    findings = [
+        Finding(Path("b.py"), 1, "DET002", "m"),
+        Finding(Path("a.py"), 9, "DET002", "m"),
+        Finding(Path("a.py"), 1, "DET005", "m"),
+        Finding(Path("a.py"), 1, "DET001", "m"),
+    ]
+    ordered = sort_findings(findings)
+    assert [(str(f.path), f.line, f.rule) for f in ordered] == [
+        ("a.py", 1, "DET001"),
+        ("a.py", 1, "DET005"),
+        ("a.py", 9, "DET002"),
+        ("b.py", 1, "DET002"),
+    ]

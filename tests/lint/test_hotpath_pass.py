@@ -1,0 +1,143 @@
+"""HOT500: purity of the bank-scheduler and legality-kernel hot paths."""
+
+
+class TestSchedulerRoots:
+    def test_pure_candidate_selection_is_clean(self, project_of, run_rule):
+        project = project_of({
+            "bank_scheduler.py": """
+                class BankScheduler:
+                    def candidate(self, now):
+                        best = None
+                        for request in self.queue:
+                            if best is None or request.key < best.key:
+                                best = request
+                        return best
+            """,
+        })
+        assert run_rule("HOT500", project) == []
+
+    def test_fstring_in_hot_path_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "bank_scheduler.py": """
+                class BankScheduler:
+                    def candidate(self, now):
+                        label = f"bank {self.index}"
+                        return label
+            """,
+        })
+        findings = run_rule("HOT500", project)
+        assert len(findings) == 1
+        assert "f-string" in findings[0].message
+        assert "BankScheduler.candidate" in findings[0].message
+
+    def test_fstring_inside_raise_is_exempt(self, project_of, run_rule):
+        project = project_of({
+            "bank_scheduler.py": """
+                class BankScheduler:
+                    def candidate(self, now):
+                        if now < 0:
+                            raise ValueError(f"negative cycle {now}")
+                        return None
+            """,
+        })
+        assert run_rule("HOT500", project) == []
+
+    def test_sorted_in_hot_path_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "bank_scheduler.py": """
+                class BankScheduler:
+                    def candidate(self, now):
+                        return sorted(self.queue)[0]
+            """,
+        })
+        findings = run_rule("HOT500", project)
+        assert len(findings) == 1
+        assert "sorted()" in findings[0].message
+
+    def test_helper_reached_through_self_call(self, project_of, run_rule):
+        project = project_of({
+            "bank_scheduler.py": """
+                class BankScheduler:
+                    def candidate(self, now):
+                        return self._pick(now)
+
+                    def _pick(self, now):
+                        print(now)
+                        return None
+            """,
+        })
+        findings = run_rule("HOT500", project)
+        assert len(findings) == 1
+        assert "print() call" in findings[0].message
+        assert "BankScheduler._pick" in findings[0].message
+
+    def test_cold_methods_are_not_checked(self, project_of, run_rule):
+        project = project_of({
+            "bank_scheduler.py": """
+                class BankScheduler:
+                    def __repr__(self):
+                        return f"BankScheduler({self.index})"
+
+                    def debug_dump(self):
+                        print(sorted(self.queue))
+            """,
+        })
+        assert run_rule("HOT500", project) == []
+
+    def test_other_files_are_not_checked(self, project_of, run_rule):
+        project = project_of({
+            "reporting.py": """
+                class BankScheduler:
+                    def candidate(self, now):
+                        return f"formatted {now}"
+            """,
+        })
+        assert run_rule("HOT500", project) == []
+
+
+class TestLegalityKernels:
+    def test_module_mutable_read_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "legality.py": """
+                _CACHE = {}
+
+
+                def can_issue(kind, now, state):
+                    if kind in _CACHE:
+                        return _CACHE[kind]
+                    return now >= state.ready_at
+            """,
+        })
+        findings = run_rule("HOT500", project)
+        assert findings
+        assert all("module-level mutable '_CACHE'" in f.message for f in findings)
+
+    def test_constructor_and_resolver_are_skipped(self, project_of, run_rule):
+        project = project_of({
+            "legality.py": """
+                def resolve_backend(choice):
+                    return sorted(choice)
+
+
+                class Backend:
+                    def __init__(self, timings):
+                        self.labels = [f"t{i}" for i in timings]
+            """,
+        })
+        assert run_rule("HOT500", project) == []
+
+    def test_module_function_closure(self, project_of, run_rule):
+        project = project_of({
+            "legality.py": """
+                def can_issue(kind, now, state):
+                    return _check(kind, now, state)
+
+
+                def _check(kind, now, state):
+                    log.debug(kind)
+                    return now >= state.ready_at
+            """,
+        })
+        findings = run_rule("HOT500", project)
+        assert len(findings) == 1
+        assert "log.debug() call" in findings[0].message

@@ -1,0 +1,147 @@
+"""SARIF emission: the document shape is pinned by its own validator."""
+
+import copy
+import json
+from pathlib import Path
+
+from repro.lint.core import Finding, LintReport
+from repro.lint.emitters import (
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_document,
+    validate_sarif,
+)
+
+TITLES = {
+    "DET002": "no wall-clock reads in simulation logic",
+    "FPR100": "every SystemConfig field must reach the cache fingerprint",
+}
+
+
+def sample_report():
+    return LintReport(
+        findings=[
+            Finding(Path("src/repro/sim/runner.py"), 12, "DET002", "wall clock"),
+            Finding(Path("src/repro/sim/cache.py"), 0, "FPR100", "missing field"),
+        ],
+        suppressed=[Finding(Path("src/repro/lint/cli.py"), 5, "DET002", "timing")],
+        rules=["DET002", "FPR100"],
+        files_checked=3,
+    )
+
+
+def clean_report():
+    return LintReport(findings=[], suppressed=[], rules=["DET002"], files_checked=7)
+
+
+class TestEmittedDocument:
+    def test_emitted_document_validates(self):
+        document = sarif_document(sample_report(), TITLES)
+        assert validate_sarif(document) == []
+
+    def test_clean_document_validates(self):
+        document = sarif_document(clean_report(), TITLES)
+        assert validate_sarif(document) == []
+        assert document["runs"][0]["results"] == []
+
+    def test_render_sarif_round_trips_through_json(self):
+        document = json.loads(render_sarif(sample_report(), TITLES))
+        assert document["version"] == SARIF_VERSION
+        assert validate_sarif(document) == []
+
+    def test_results_carry_location_and_rule(self):
+        document = sarif_document(sample_report(), TITLES)
+        results = document["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["DET002", "FPR100"]
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/sim/runner.py"
+        assert location["region"]["startLine"] == 12
+
+    def test_zero_line_findings_clamp_to_one(self):
+        document = sarif_document(sample_report(), TITLES)
+        region = document["runs"][0]["results"][1]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startLine"] == 1
+
+    def test_rules_metadata_lists_titles(self):
+        document = sarif_document(sample_report(), TITLES)
+        rules = document["runs"][0]["tool"]["driver"]["rules"]
+        assert {r["id"]: r["shortDescription"]["text"] for r in rules} == TITLES
+
+
+class TestValidatorRejectsCorruption:
+    def corrupt(self, mutate):
+        document = sarif_document(sample_report(), TITLES)
+        mutate(document)
+        return validate_sarif(document)
+
+    def test_wrong_version(self):
+        problems = self.corrupt(lambda d: d.update(version="1.0.0"))
+        assert any("version" in p for p in problems)
+
+    def test_missing_runs(self):
+        problems = self.corrupt(lambda d: d.update(runs=[]))
+        assert any("runs" in p for p in problems)
+
+    def test_driver_without_name(self):
+        problems = self.corrupt(
+            lambda d: d["runs"][0]["tool"]["driver"].pop("name")
+        )
+        assert any("driver.name" in p for p in problems)
+
+    def test_undeclared_rule_id(self):
+        problems = self.corrupt(
+            lambda d: d["runs"][0]["results"][0].update(ruleId="GHOST999")
+        )
+        assert any("GHOST999" in p for p in problems)
+
+    def test_duplicate_rule_ids(self):
+        def mutate(document):
+            rules = document["runs"][0]["tool"]["driver"]["rules"]
+            rules.append(copy.deepcopy(rules[0]))
+
+        assert any("duplicate" in p for p in self.corrupt(mutate))
+
+    def test_missing_message_text(self):
+        problems = self.corrupt(
+            lambda d: d["runs"][0]["results"][0].update(message={})
+        )
+        assert any("message.text" in p for p in problems)
+
+    def test_empty_locations(self):
+        problems = self.corrupt(
+            lambda d: d["runs"][0]["results"][0].update(locations=[])
+        )
+        assert any("locations" in p for p in problems)
+
+    def test_zero_start_line(self):
+        def mutate(document):
+            location = document["runs"][0]["results"][0]["locations"][0]
+            location["physicalLocation"]["region"]["startLine"] = 0
+
+        assert any("startLine" in p for p in self.corrupt(mutate))
+
+    def test_non_object_document(self):
+        assert validate_sarif(["not", "a", "document"]) == [
+            "document is not an object"
+        ]
+
+
+class TestOtherEmitters:
+    def test_text_clean_summary(self):
+        rendered = render_text(clean_report())
+        assert rendered == "lint: clean (7 files, 1 rules, 0 suppressed)"
+
+    def test_text_findings_and_count(self):
+        lines = render_text(sample_report()).splitlines()
+        assert lines[0].endswith("DET002 wall clock")
+        assert lines[-1] == "2 lint finding(s)"
+
+    def test_json_payload_shape(self):
+        payload = json.loads(render_json(sample_report()))
+        assert payload["files_checked"] == 3
+        assert payload["suppressed"] == 1
+        assert [f["rule"] for f in payload["findings"]] == ["DET002", "FPR100"]

@@ -1,0 +1,74 @@
+"""tools/lint_determinism.py is now a shim over repro.lint; its output
+and exit codes must be byte-identical to the pre-framework tool.
+
+The fixture corpus under ``fixtures/det_corpus/`` exercises every DET
+rule (plus a syntax error and both suppression spellings); the golden
+file was captured from the standalone tool before the migration.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = Path("tests/lint/fixtures/det_corpus")
+GOLDEN = REPO_ROOT / "tests/lint/fixtures/det_corpus_golden.txt"
+
+
+def run_shim(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "tools/lint_determinism.py", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestGoldenOutput:
+    def test_corpus_output_is_byte_identical(self):
+        proc = run_shim(str(CORPUS))
+        assert proc.returncode == 1
+        assert proc.stdout == GOLDEN.read_text()
+
+    def test_clean_path_exit_and_message(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        proc = run_shim(str(tmp_path))
+        assert proc.returncode == 0
+        assert proc.stdout == "determinism lint: clean\n"
+
+    def test_no_arguments_is_a_usage_error(self):
+        proc = run_shim()
+        assert proc.returncode == 2
+
+
+class TestImportApi:
+    """tests/check/test_lint_determinism.py imports the tool as a module;
+    the shim must keep that API (lint_source / lint_paths / Finding)."""
+
+    def test_lint_source_matches_framework_rules(self):
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            from lint_determinism import Finding, lint_paths, lint_source
+        finally:
+            sys.path.pop(0)
+
+        findings = lint_source(
+            "import time\nstart = time.time()\n", Path("snippet.py")
+        )
+        assert [f.rule for f in findings] == ["DET002"]
+        assert isinstance(findings[0], Finding)
+        assert str(findings[0]).startswith("snippet.py:2: DET002")
+
+        corpus_findings = lint_paths([REPO_ROOT / CORPUS])
+        golden_lines = GOLDEN.read_text().splitlines()[:-1]
+        assert len(corpus_findings) == len(golden_lines)
+
+    def test_suppression_still_honoured(self):
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            from lint_determinism import lint_source
+        finally:
+            sys.path.pop(0)
+
+        source = "import time\nt = time.time()  # det: allow(why)\n"
+        assert lint_source(source, Path("snippet.py")) == []

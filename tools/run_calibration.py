@@ -20,9 +20,9 @@ def main() -> None:
     lines = []
     for template in BENCHMARKS:
         target = TARGET_SOLO_UTILIZATION[template.name]
-        t0 = time.time()
+        t0 = time.time()  # lint: allow(DET002, calibration progress timing, not simulation state)
         profile, util = calibrate_intensity(template, target)
-        elapsed = time.time() - t0
+        elapsed = time.time() - t0  # lint: allow(DET002, calibration progress timing, not simulation state)
         print(
             f"{profile.name:10s} target={target:.3f} got={util:.3f} "
             f"gap={profile.inter_burst_gap:.0f} ({elapsed:.0f}s)",
