@@ -44,12 +44,12 @@ RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
 def _measure(workload, policy: str, engine: str, cycles: int):
-    """Best-of-N throughput of one fresh simulation; returns (rate, skip)."""
+    """Best-of-N throughput of one fresh simulation; returns one row."""
     profiles = [lookup_profile(name) for name in workload]
     warmup = default_warmup(cycles)
     simulated = cycles + warmup
     best = 0.0
-    skip_ratio = 0.0
+    extras = {}
     for _ in range(ROUNDS):
         start = perf_counter()
         result = run_workload(
@@ -57,8 +57,30 @@ def _measure(workload, policy: str, engine: str, cycles: int):
         )
         elapsed = perf_counter() - start
         best = max(best, simulated / elapsed)
-        skip_ratio = result.extras.get("engine_skip_ratio", 0.0)
-    return best, skip_ratio
+        extras = result.extras
+    row = {
+        "cycles_per_second": round(best, 1),
+        "skip_ratio": round(extras.get("engine_skip_ratio", 0.0), 4),
+    }
+    steps = extras.get("engine_steps", 0.0)
+    if steps:
+        # Wake-index internals (PR 8): how often targeting runs per
+        # stepped cycle, how much heap garbage the epoch invalidation
+        # leaves behind, and what fraction of component ticks the
+        # sparse dispatch actually performs vs the broadcast oracle.
+        row["target_calls_per_step"] = round(
+            extras.get("engine_event_target_calls", 0.0) / steps, 4
+        )
+        publishes = extras.get("engine_wake_publishes", 0.0)
+        if publishes:
+            row["stale_pop_rate"] = round(
+                extras.get("engine_stale_pops", 0.0) / publishes, 4
+            )
+        if "engine_sparse_tick_fraction" in extras:
+            row["sparse_tick_fraction"] = round(
+                extras["engine_sparse_tick_fraction"], 4
+            )
+    return row
 
 
 def _measure_all(cycles: int):
@@ -68,11 +90,9 @@ def _measure_all(cycles: int):
         for policy in POLICIES:
             rows[tag][policy] = {}
             for engine in ENGINES:
-                rate, skip = _measure(workload, policy, engine, cycles)
-                rows[tag][policy][engine] = {
-                    "cycles_per_second": round(rate, 1),
-                    "skip_ratio": round(skip, 4),
-                }
+                rows[tag][policy][engine] = _measure(
+                    workload, policy, engine, cycles
+                )
     return rows
 
 

@@ -1,0 +1,154 @@
+"""Many-core scaling: wake-index engine vs the linear-scan oracle.
+
+The scan engine's event targeting is O(cores + channels) per event and
+its ``step()`` broadcast-ticks every component, so per-event cost grows
+linearly with the thread count — the loop the ROADMAP names as the
+blocker for 16/64-thread scale-out.  The wake index replaces both loops
+(sharded heap peek for targeting, due-only dispatch for stepping), so
+its per-event cost should stay near-flat as cores are added.
+
+This benchmark sweeps a synthetic CMP from 4 to 32 cores — a
+moderate-intensity mix (crafty+parser+vpr+twolf) tiled outward, one
+channel per four cores — and times the *same* event engine twice per
+size: once through the wake index and once through the scan oracle
+(``wake_index=False``, the ``REPRO_WAKE_INDEX=0`` path).  The mix
+matters: art-style prefetch streams saturate every channel, so per-step
+cost drowns in scheduler work both engines share; the irregular/ILP
+four keep channels active but unsaturated, which is exactly the regime
+where the engines' own per-component overhead — the quantity under
+test — dominates.  Both runs produce bit-identical
+results (the differential suites enforce it), so the per-step wall cost
+is directly comparable.  Rates, per-step costs, and engine internals
+land in ``BENCH_scale.json`` at the repository root.
+
+Run length follows ``REPRO_SIM_CYCLES`` scaled down 4x (32-core runs
+are heavy); CI smokes it shorter still.  The tripwire: at 16 cores the
+indexed engine must beat the scan oracle outright, and under
+``REPRO_BENCH_STRICT=1`` by at least ``STRICT_SPEEDUP_FLOOR``.
+"""
+
+import json
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from conftest import once
+
+from repro import env
+from repro.sim.config import SystemConfig
+from repro.sim.runner import default_warmup
+from repro.sim.system import CmpSystem
+from repro.workloads.spec2000 import profile as lookup_profile
+
+MIX = ("crafty", "parser", "vpr", "twolf")
+CORE_COUNTS = (4, 8, 16, 32)
+POLICY = "FQ-VFTF"
+#: Cores per memory channel (each channel is one wake-index shard).
+CORES_PER_CHANNEL = 4
+
+#: At 16 cores the indexed engine must beat the scan oracle by this
+#: factor before the strict (full-window) run is considered healthy.
+STRICT_SPEEDUP_FLOOR = 1.5
+TRIPWIRE_CORES = 16
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_scale.json"
+
+
+def _build(num_cores: int, wake_index: bool) -> CmpSystem:
+    profiles = [
+        lookup_profile(MIX[i % len(MIX)]) for i in range(num_cores)
+    ]
+    config = SystemConfig(
+        policy=POLICY,
+        num_cores=num_cores,
+        num_channels=max(1, num_cores // CORES_PER_CHANNEL),
+        engine="event",
+    )
+    return CmpSystem(config, profiles, wake_index=wake_index)
+
+
+def _measure(num_cores: int, wake_index: bool, cycles: int):
+    warmup = default_warmup(cycles)
+    system = _build(num_cores, wake_index)
+    start = perf_counter()
+    result = system.run(cycles, warmup=warmup)
+    elapsed = perf_counter() - start
+    extras = result.extras
+    steps = extras.get("engine_steps", 0.0) or 1.0
+    row = {
+        "cycles_per_second": round((cycles + warmup) / elapsed, 1),
+        "us_per_step": round(1e6 * elapsed / steps, 3),
+        "engine_steps": int(steps),
+        "skip_ratio": round(extras.get("engine_skip_ratio", 0.0), 4),
+        "target_calls_per_step": round(
+            extras.get("engine_event_target_calls", 0.0) / steps, 4
+        ),
+    }
+    if wake_index:
+        publishes = extras.get("engine_wake_publishes", 0.0) or 1.0
+        row["stale_pop_rate"] = round(
+            extras.get("engine_stale_pops", 0.0) / publishes, 4
+        )
+        row["sparse_tick_fraction"] = round(
+            extras.get("engine_sparse_tick_fraction", 0.0), 4
+        )
+    return row
+
+
+def _measure_all(cycles: int):
+    sweep = {}
+    for num_cores in CORE_COUNTS:
+        indexed = _measure(num_cores, True, cycles)
+        scan = _measure(num_cores, False, cycles)
+        sweep[str(num_cores)] = {
+            "indexed": indexed,
+            "scan": scan,
+            "speedup": round(
+                indexed["cycles_per_second"] / scan["cycles_per_second"], 3
+            ),
+        }
+    return sweep
+
+
+def test_engine_scaling(benchmark, cycles):
+    # A 32-core run simulates 8x the work of the pair benchmarks at the
+    # same window; a quarter window keeps the sweep tractable while the
+    # per-step costs (the quantity under test) stay stable.
+    window = max(2_000, cycles // 4)
+    sweep = once(benchmark, lambda: _measure_all(window))
+    print()
+    for num_cores, row in sweep.items():
+        idx, scan = row["indexed"], row["scan"]
+        print(
+            f"  {num_cores:>3s} cores  indexed {idx['us_per_step']:7.2f} us/step"
+            f"  scan {scan['us_per_step']:7.2f} us/step"
+            f"  speedup {row['speedup']:.2f}x"
+            f"  sparse ticks {idx['sparse_tick_fraction']:.1%}"
+        )
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "measurement_cycles": window,
+                "warmup_cycles": default_warmup(window),
+                "policy": POLICY,
+                "mix": list(MIX),
+                "cores_per_channel": CORES_PER_CHANNEL,
+                "python": platform.python_version(),
+                "sweep": sweep,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    tripwire = sweep[str(TRIPWIRE_CORES)]
+    assert tripwire["speedup"] > 1.0, (
+        f"wake index slower than the scan oracle at {TRIPWIRE_CORES} "
+        f"cores: {tripwire['speedup']:.2f}x"
+    )
+    if env.flag("REPRO_BENCH_STRICT"):
+        assert tripwire["speedup"] >= STRICT_SPEEDUP_FLOOR, (
+            f"wake index below the {STRICT_SPEEDUP_FLOOR:.1f}x floor at "
+            f"{TRIPWIRE_CORES} cores: {tripwire['speedup']:.2f}x"
+        )

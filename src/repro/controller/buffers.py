@@ -33,6 +33,12 @@ class PartitionedBuffers:
         self._reads: Dict[int, int] = {t: 0 for t in range(num_threads)}
         self._writes: Dict[int, int] = {t: 0 for t in range(num_threads)}
         self.nack_count: Dict[int, int] = {t: 0 for t in range(num_threads)}
+        #: Occupancy version, bumped on every reserve/release.  The
+        #: event engine's acceptance and writeback-unblock probes are
+        #: pure functions of occupancy, so a probe that came up negative
+        #: stays negative until this counter moves — which lets the
+        #: engine skip re-probing untouched channels entirely.
+        self.version = 0
 
     def _counts(self, kind: RequestKind) -> Dict[int, int]:
         return self._reads if kind is RequestKind.READ else self._writes
@@ -51,6 +57,7 @@ class PartitionedBuffers:
             self.nack_count[request.thread_id] += 1
             return False
         counts[request.thread_id] += 1
+        self.version += 1
         return True
 
     def release(self, request: MemoryRequest) -> None:
@@ -62,6 +69,7 @@ class PartitionedBuffers:
                 f"{request.kind.value}"
             )
         counts[request.thread_id] -= 1
+        self.version += 1
 
     def occupancy(self, thread_id: int, kind: RequestKind) -> int:
         return self._counts(kind)[thread_id]

@@ -415,6 +415,15 @@ class OooCore:
     #
     # Wake times are conservative: answering *early* merely steps a
     # no-op cycle, answering late would diverge from the cycle oracle.
+    #
+    # Under the sharded wake index the answer is also *consumed*: the
+    # engine pops this core's heap entry when its wake comes due and
+    # re-asks only after the next tick (the dirty-republish pass in
+    # ``CmpSystem._event_target_indexed``).  A wake therefore covers
+    # exactly the span until the core is next ticked or delivered to —
+    # it must not bake in assumptions about state that a fill or an
+    # accepted writeback could change in between, because no fresh
+    # query happens until after that interaction.
 
     #: Cap on the retirement-recurrence walk inside :meth:`wake_time`.
     #: If the window's drain takes longer to converge, the wake time

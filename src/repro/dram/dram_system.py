@@ -36,6 +36,12 @@ class DramSystem:
         self.ranks: List[Rank] = [Rank(r, timing, num_banks) for r in range(num_ranks)]
         self.channel = Channel(timing)
         self.enable_refresh = enable_refresh
+        #: Absolute cycle of the next mandatory refresh.  Together with
+        #: :attr:`refresh_end` this is part of the event-engine wake
+        #: contract: the controller folds both boundaries into the wake
+        #: time it publishes to the sharded wake index, so they may
+        #: only move inside :meth:`try_start_refresh` — a tick the
+        #: controller by construction observes and republishes after.
         self.next_refresh_due = timing.t_refi if enable_refresh else None
         #: End cycle of an in-progress refresh, or None.
         self.refresh_end: Optional[int] = None

@@ -110,6 +110,13 @@ ENV_VARS = (
         "keys; both paths are bit-identical by contract.",
     ),
     EnvVar(
+        "REPRO_WAKE_INDEX",
+        fingerprint_relevant=False,
+        description="'0' forces the linear wake-scan oracle over the "
+        "sharded wake-index event engine; both paths are bit-identical "
+        "by contract.",
+    ),
+    EnvVar(
         "REPRO_LEGALITY_BACKEND",
         fingerprint_relevant=False,
         description="Batched legality kernel backend: auto, numpy, or "

@@ -15,10 +15,12 @@ line at a time:
   functions the parallel engine forks into worker processes — the
   classic "works until REPRO_JOBS>1" trap.
 
-Roots are the scheduler's candidate-selection entry points plus every
-function in the legality module; the pass closes over same-class
-``self.*()`` and same-module calls, so a helper extracted from a hot
-loop stays covered without touching this file.
+Roots are the scheduler's candidate-selection entry points, every
+function in the legality module, the wake index (PR 8 — every event
+iteration goes through it), and the indexed engine's sparse dispatch
+in ``sim/system.py``; the pass closes over same-class ``self.*()`` and
+same-module calls, so a helper extracted from a hot loop stays covered
+without touching this file.
 """
 
 from __future__ import annotations
@@ -44,6 +46,22 @@ SCHEDULER_ROOTS = (
 #: Every function in this module is a hot kernel (construction aside).
 KERNEL_FILE = "legality.py"
 KERNEL_SKIP = ("__init__", "__repr__", "resolve_backend")
+
+#: The wake index: every method runs once per event-engine iteration.
+WAKEINDEX_FILE = "wakeindex.py"
+WAKEINDEX_SKIP = ("__init__",)
+
+#: The indexed engine's targeting and sparse-dispatch loops.
+SYSTEM_FILE = "system.py"
+SYSTEM_CLASS = "CmpSystem"
+SPARSE_ROOTS = (
+    "_run_event_indexed",
+    "_event_target_indexed",
+    "_sparse_step",
+    "_skip_span_indexed",
+    "_acceptance_due",
+    "_wb_unblock_due",
+)
 
 MUTABLE_CALLS = {
     "list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter",
@@ -124,6 +142,21 @@ def _reachable(
             elif isinstance(func, ast.Name) and func.id in functions:
                 work.append((None, func.id))
     return ordered
+
+
+def _whole_module_roots(
+    file: SourceFile, skip: Tuple[str, ...]
+) -> List[Tuple[Optional[str], str]]:
+    """Every function and method in ``file`` except the ``skip`` names."""
+    functions, classes = _index_file(file.tree)
+    return [
+        (None, fn) for fn in functions if fn not in skip
+    ] + [
+        (cls, m)
+        for cls, methods in classes.items()
+        for m in methods
+        if m not in skip
+    ]
 
 
 class _PurityVisitor(ast.NodeVisitor):
@@ -207,17 +240,12 @@ class HotPathPurityPass(LintPass):
         name = file.parts[-1]
         if name == SCHEDULER_FILE:
             roots = [(SCHEDULER_CLASS, m) for m in SCHEDULER_ROOTS]
+        elif name == SYSTEM_FILE:
+            roots = [(SYSTEM_CLASS, m) for m in SPARSE_ROOTS]
         elif name == KERNEL_FILE:
-            functions, classes = _index_file(file.tree)
-            roots = [
-                (None, fn) for fn in functions if fn not in KERNEL_SKIP
-            ] + [
-                (cls, m)
-                for cls, methods in classes.items()
-                for m in methods
-                if m not in KERNEL_SKIP
-            ]
-            return self._check(file, roots)
+            roots = _whole_module_roots(file, KERNEL_SKIP)
+        elif name == WAKEINDEX_FILE:
+            roots = _whole_module_roots(file, WAKEINDEX_SKIP)
         else:
             return []
         return self._check(file, roots)

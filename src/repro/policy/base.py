@@ -178,5 +178,11 @@ class SchedulingPolicy:
         ``None`` means the policy never needs a wake-up of its own.
         A conservative (early) answer is safe; a late one breaks the
         event engine's bit-identity with the per-cycle oracle.
+
+        The answer must be an **absolute** cycle number derived from
+        policy state, not an offset from ``now``: the sharded wake
+        index caches it per channel until the controller next ticks,
+        so two calls with different ``now`` values between the same
+        pair of ticks must return the same boundary.
         """
         return None

@@ -17,6 +17,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import env
 from ..check import RunChecker, checks_enabled
 from ..controller.address_map import AddressMap
 from ..controller.controller import MemoryController
@@ -27,6 +28,19 @@ from ..dram.dram_system import DramSystem
 from ..policy import make_policy
 from ..telemetry import RunTelemetry, trace_enabled
 from .config import SystemConfig
+from .wakeindex import WakeIndex
+
+
+def wake_index_enabled() -> bool:
+    """``REPRO_WAKE_INDEX`` gate (default on; ``0``/``false`` is off).
+
+    Off keeps the PR 3 linear wake scan as the differential oracle.
+    The knob is semantics-free: both engines are bit-identical by
+    contract (and by the differential suites).  Read at system
+    construction so the parallel engine's worker processes inherit the
+    choice, exactly like ``REPRO_CHECK``.
+    """
+    return env.text("REPRO_WAKE_INDEX").strip().lower() not in ("0", "false")
 
 
 @dataclass
@@ -79,6 +93,7 @@ class CmpSystem:
         profiles: Sequence,
         check: Optional[bool] = None,
         trace: Optional[bool] = None,
+        wake_index: Optional[bool] = None,
     ):
         """Build a system running one workload per core.
 
@@ -99,6 +114,12 @@ class CmpSystem:
         (request-lifecycle tracer + interval sampler) the same way;
         ``None`` defers to ``REPRO_TRACE``.  Tracing never changes
         results either — hooks are pure readers.
+
+        ``wake_index`` selects the event engine's targeting machinery:
+        True uses the sharded wake index with sparse ticking, False the
+        PR 3 linear scan (the differential oracle); ``None`` defers to
+        ``REPRO_WAKE_INDEX`` (default on).  Results are bit-identical
+        either way.
         """
         if len(profiles) != config.num_cores:
             raise ValueError(
@@ -177,6 +198,17 @@ class CmpSystem:
         #: retry scan touches only (channel, thread) pairs with queued
         #: requests instead of all channels × all threads.
         self._awaiting_nonempty: Set[Tuple[int, int]] = set()
+        #: The same occupancy, indexed per channel: the acceptance
+        #: probe and the retry pass walk only occupied channels and
+        #: skip empty shards outright.
+        self._awaiting_by_channel: List[Set[int]] = [
+            set() for _ in range(config.num_channels)
+        ]
+        #: Per-channel buffer version at the last all-rejected
+        #: acceptance probe (-1 = must probe).  Acceptance can only
+        #: flip to True when the channel's buffer occupancy moves, so
+        #: an unchanged version proves the probe would repeat itself.
+        self._probe_versions: List[int] = [-1] * config.num_channels
         #: Writes sitting in each interface queue, indexed
         #: [channel][thread] — consulted on every writeback submit for
         #: credit flow control, so counted incrementally.
@@ -193,9 +225,43 @@ class CmpSystem:
         self._core_wake: List[Optional[int]] = [None] * config.num_cores
         self._core_activity: List[int] = [0] * config.num_cores
         self._activity_seen: List[int] = [0] * config.num_cores
-        #: Engine instrumentation: cycles stepped vs cycles skipped.
+        #: Engine instrumentation: cycles stepped vs cycles skipped,
+        #: plus targeting-call and component-tick counts for the
+        #: engine-internals block in the throughput benchmarks.
         self.engine_steps = 0
         self.engine_cycles_skipped = 0
+        self.engine_event_target_calls = 0
+        self.engine_component_ticks = 0
+        # -- wake-index state (None = linear-scan oracle) ---------------
+        # Slot layout: controllers at [0, num_channels), cores after.
+        # Each controller gets its own shard; cores share one, so a
+        # channel's wake churn touches only that channel's heap.
+        self._core_slot0 = config.num_channels
+        self._num_slots = config.num_channels + config.num_cores
+        if wake_index is None:
+            wake_index = wake_index_enabled()
+        self._windex: Optional[WakeIndex] = None
+        if wake_index and config.engine == "event":
+            self._windex = WakeIndex(
+                list(range(config.num_channels))
+                + [config.num_channels] * config.num_cores
+            )
+        #: Exclusive cycle each component's accounting has reached.  An
+        #: un-due component is not touched at all while the engine runs
+        #: ahead; its skipped span is applied lazily (catch-up) when it
+        #: next becomes due, receives a delivery, or at a sync barrier
+        #: (sample boundaries, snapshots, end of run).
+        self._synced: List[int] = [0] * self._num_slots
+        #: Components that must tick on the current stepped cycle.
+        self._due_flag: List[bool] = [False] * self._num_slots
+        #: Slots whose published wake is stale (touched since the last
+        #: publish); refreshed in one pass per targeting call.
+        self._dirty_slots: List[int] = list(range(self._num_slots))
+        self._dirty_flag: List[bool] = [True] * self._num_slots
+        #: Cores holding a NACK-blocked head writeback, mapped to the
+        #: (channel, buffer version) of the last blocked verdict; the
+        #: unblock probe re-runs only when the version moved.
+        self._wb_blocked: Dict[int, Tuple[int, int]] = {}
         self.cores: List[OooCore] = []
         for core_id, workload in enumerate(self.profiles):
             base_address = core_id * config.thread_address_stride
@@ -324,27 +390,64 @@ class CmpSystem:
                 self._awaiting_writes[request.channel][request.thread_id] += 1
             self._awaiting_mc[request.channel][request.thread_id].append(request)
             self._awaiting_nonempty.add((request.channel, request.thread_id))
+            self._awaiting_by_channel[request.channel].add(request.thread_id)
         if not self._awaiting_nonempty:
             return
-        drained = []
-        for channel, thread_id in sorted(self._awaiting_nonempty):
+        # Retry pass, channel-major then thread order — the same
+        # lexicographic (channel, thread) sequence the old sorted() pass
+        # produced, without building the sorted temporary.  The
+        # can_accept pre-gate is exactly the reserve predicate, so a
+        # rejected head takes the same one-NACK accounting a failed
+        # try_enqueue would have charged, without constructing the
+        # enqueue attempt (and, under the wake index, without waking a
+        # deferred controller).
+        indexed = self._windex is not None
+        num_threads = self.config.num_cores
+        for channel, threads in enumerate(self._awaiting_by_channel):
+            if not threads:
+                continue
             controller = self.controllers[channel]
-            thread_queue = self._awaiting_mc[channel][thread_id]
-            while thread_queue:
-                if not controller.try_enqueue(thread_queue[0]):
-                    break
-                request = thread_queue.popleft()
-                if request.kind is RequestKind.WRITE:
-                    self._awaiting_writes[channel][thread_id] -= 1
-            if not thread_queue:
-                drained.append((channel, thread_id))
-        self._awaiting_nonempty.difference_update(drained)
+            channel_queues = self._awaiting_mc[channel]
+            can_accept = controller.buffers.can_accept
+            drained: List[int] = []
+            for thread_id in range(num_threads):
+                if thread_id not in threads:
+                    continue
+                thread_queue = channel_queues[thread_id]
+                while thread_queue:
+                    head = thread_queue[0]
+                    if not can_accept(thread_id, head.kind):
+                        controller.skip_interface_nacks(thread_id, 1)
+                        break
+                    if indexed:
+                        # The acceptance mutates controller state: catch
+                        # its deferred span up first (arrival stamps and
+                        # the FQ real clock must read post-span state)
+                        # and make sure it ticks this cycle.
+                        self._catch_up_controller(channel, now)
+                        self._due_flag[channel] = True
+                    if not controller.try_enqueue(head):  # pragma: no cover
+                        break  # unreachable: can_accept gates reserve
+                    thread_queue.popleft()
+                    if head.kind is RequestKind.WRITE:
+                        self._awaiting_writes[channel][thread_id] -= 1
+                if not thread_queue:
+                    drained.append(thread_id)
+            for thread_id in drained:
+                threads.discard(thread_id)
+                self._awaiting_nonempty.discard((channel, thread_id))
 
     # -- main loop --------------------------------------------------------------
 
     def step(self) -> None:
         """Advance the whole system by one cycle."""
         now = self.now
+        if self._windex is not None:
+            # Manual stepping on an indexed system: catch every
+            # deferred component up first (normally a no-op — the
+            # indexed loop syncs on exit) and mark all wakes stale
+            # after, since this full step ticks everything.
+            self._sync_all(now)
         if self.telemetry is not None:
             # Sample at the top of the cycle, before any component
             # moves: both engines step every sample boundary (the event
@@ -376,6 +479,8 @@ class CmpSystem:
             core.tick(now)
 
         self.now = now + 1
+        if self._windex is not None:
+            self._after_full_step()
 
     # -- event-driven engine ------------------------------------------------
     #
@@ -412,9 +517,38 @@ class CmpSystem:
         )
         return occupied >= controller.buffers.write_capacity
 
+    def _acceptance_due(self) -> bool:
+        """True when some NACKed interface-queue head would be accepted.
+
+        Version-gated per channel: acceptance is a pure function of the
+        channel's buffer occupancy, which moves only on reserve/release
+        (stepped-cycle events that bump ``buffers.version``), so a
+        channel whose version is unchanged since its last all-rejected
+        probe is skipped without touching its queues — and channels
+        with no occupied queue cost nothing at all.
+        """
+        versions = self._probe_versions
+        controllers = self.controllers
+        queues = self._awaiting_mc
+        for channel, threads in enumerate(self._awaiting_by_channel):
+            if not threads:
+                continue
+            buffers = controllers[channel].buffers
+            version = buffers.version
+            if version == versions[channel]:
+                continue
+            channel_queues = queues[channel]
+            can_accept = buffers.can_accept
+            for thread_id in threads:  # det: allow(pure any-probe, order-free)
+                if can_accept(thread_id, channel_queues[thread_id][0].kind):
+                    return True
+            versions[channel] = version
+        return False
+
     def _event_target(self, limit: int) -> int:
         """Earliest cycle in ``[now, limit]`` that must be stepped."""
         now = self.now
+        self.engine_event_target_calls += 1
         target = limit
         if self.telemetry is not None:
             # Sampling deadlines are events: never skip across one, so
@@ -439,10 +573,8 @@ class CmpSystem:
         # A NACKed interface-queue head that would now be accepted must
         # enter via a real step; heads that stay rejected are pure
         # counter traffic, replicated in bulk by _skip_span.
-        for channel, thread_id in self._awaiting_nonempty:  # det: allow(pure any-probe, order-free)
-            head = self._awaiting_mc[channel][thread_id][0]
-            if self.controllers[channel].buffers.can_accept(thread_id, head.kind):
-                return now
+        if self._acceptance_due():
+            return now
         for controller in self.controllers:
             wake = controller.next_event_time(now)
             if wake is not None:
@@ -501,18 +633,304 @@ class CmpSystem:
                     seen[i] = activity[i]
                     wake_cache[i] = None
 
+    # -- wake-index engine ---------------------------------------------------
+    #
+    # The indexed engine (PR 8) replaces both O(n) loops the scan
+    # engine kept: event targeting reads a sharded lazy min-heap of
+    # published wakes instead of scanning every component, and stepped
+    # cycles tick only the components that are actually due (heap pop)
+    # or receive a delivery, instead of broadcasting to all of them.
+    # Un-due components are not even charged their skip accounting per
+    # cycle — each keeps a ``_synced`` watermark and is caught up
+    # lazily, in one bulk ``skip``/``skip_cycles`` call, when it next
+    # matters.  Safety rests on the WAKE400 contracts: a published wake
+    # is a conservative bound that cannot move earlier while the
+    # component is untouched, so every cycle skipped or deferred is
+    # provably a no-op for that component.
+
+    def _catch_up_controller(self, channel: int, now: int) -> None:
+        """Apply a deferred controller's skipped span up to ``now``."""
+        synced = self._synced
+        if synced[channel] < now:
+            self.controllers[channel].skip_cycles(synced[channel], now)
+            synced[channel] = now
+
+    def _mark_dirty(self, slot: int) -> None:
+        """Queue ``slot`` for a wake republish at the next targeting call."""
+        if not self._dirty_flag[slot]:
+            self._dirty_flag[slot] = True
+            self._dirty_slots.append(slot)
+
+    def _sync_all(self, now: int) -> None:
+        """Catch every deferred component up to ``now``.
+
+        The barrier before anything that reads whole-system state:
+        telemetry sample boundaries, snapshots, manual ``step()``, and
+        the end of an indexed run.
+        """
+        synced = self._synced
+        controllers = self.controllers
+        for channel in range(self._core_slot0):
+            if synced[channel] < now:
+                controllers[channel].skip_cycles(synced[channel], now)
+                synced[channel] = now
+        base = self._core_slot0
+        for i, core in enumerate(self.cores):
+            slot = base + i
+            if synced[slot] < now:
+                core.skip(synced[slot], now)
+                synced[slot] = now
+
+    def _after_full_step(self) -> None:
+        """Reconcile index state after a broadcast ``step()``.
+
+        Everything just ticked: advance all watermarks, clear consumed
+        due flags, mark every wake stale, and refresh the writeback
+        bookkeeping.
+        """
+        now = self.now
+        synced = self._synced
+        due = self._due_flag
+        for slot in range(self._num_slots):
+            synced[slot] = now
+            due[slot] = False
+            self._mark_dirty(slot)
+        for i, core in enumerate(self.cores):
+            self._note_core_wb(i, core)
+
+    def _note_core_wb(self, core_id: int, core: OooCore) -> None:
+        """Refresh ``core_id``'s entry in the blocked-writeback map.
+
+        Called right after the core ticks: a surviving head writeback
+        was NACKed by that tick's drain, so it is blocked at the
+        channel's current buffer version and stays blocked until the
+        version moves.
+        """
+        if core.has_blocked_writeback():
+            line = core.hierarchy.pending_writebacks[0]
+            address = core.hierarchy.line_address(line)
+            channel = self.address_map.channel_of(address)
+            self._wb_blocked[core_id] = (
+                channel, self.controllers[channel].buffers.version
+            )
+        elif core_id in self._wb_blocked:
+            del self._wb_blocked[core_id]
+
+    def _wb_unblock_due(self) -> bool:
+        """True when some blocked head writeback would now be accepted.
+
+        Only channels whose buffer version moved since the blocked
+        verdict are re-probed; a still-blocked verdict refreshes the
+        stamp so the next call is O(1) again.
+        """
+        wb = self._wb_blocked
+        controllers = self.controllers
+        cores = self.cores
+        for core_id, (channel, version) in wb.items():
+            current = controllers[channel].buffers.version
+            if current == version:
+                continue
+            if self._writeback_blocked(cores[core_id]):
+                wb[core_id] = (channel, current)
+            else:
+                return True
+        return False
+
+    def _event_target_indexed(self, limit: int) -> int:
+        """Earliest cycle in ``[now, limit]`` that must be stepped.
+
+        The indexed analogue of :meth:`_event_target`: the O(1) direct
+        sources (sample deadline, interconnect heap heads) are checked
+        inline, the version-gated probes cover acceptance and writeback
+        unblocks, and everything else — every controller and core — is
+        one sharded heap peek instead of a scan.
+        """
+        now = self.now
+        self.engine_event_target_calls += 1
+        windex = self._windex
+        assert windex is not None
+        dirty = self._dirty_slots
+        if dirty:
+            # Republish stale wakes (components touched since their
+            # last publish) in one pass — before any early return, so a
+            # component ticked last cycle is back in the heap by the
+            # time pop_due decides who is due, even when this cycle is
+            # stepped for an unrelated reason (delivery, acceptance).
+            flags = self._dirty_flag
+            base = self._core_slot0
+            controllers = self.controllers
+            cores = self.cores
+            for slot in dirty:
+                flags[slot] = False
+                if slot < base:
+                    windex.publish(slot, controllers[slot].next_event_time(now))
+                else:
+                    windex.publish(slot, cores[slot - base].wake_time(now))
+            del dirty[:]
+        target = limit
+        if self.telemetry is not None:
+            deadline = self.telemetry.next_sample
+            if deadline <= now:
+                return now
+            if deadline < target:
+                target = deadline
+        if self._to_controller:
+            head = self._to_controller[0][0]
+            if head <= now:
+                return now
+            if head < target:
+                target = head
+        if self._to_cores:
+            head = self._to_cores[0][0]
+            if head <= now:
+                return now
+            if head < target:
+                target = head
+        if self._acceptance_due():
+            return now
+        wake = windex.min_wake()
+        if wake <= now:
+            return now
+        if wake < target:
+            target = wake
+        if self._wb_blocked and self._wb_unblock_due():
+            return now
+        return target
+
+    def _skip_span_indexed(self, target: int) -> None:
+        """Jump over the no-op cycles ``[self.now, target)``.
+
+        Unlike :meth:`_skip_span`, no component is touched: their
+        accounting is applied lazily by the catch-up hooks, so a skip
+        costs O(occupied interface queues) — usually zero — regardless
+        of core count.
+        """
+        now = self.now
+        span = target - now
+        for channel, thread_id in self._awaiting_nonempty:  # det: allow(commutative counter adds, order-free)
+            # One rejected head-of-queue retry per cycle per queue.
+            self.controllers[channel].skip_interface_nacks(thread_id, span)
+        self.engine_cycles_skipped += span
+        self.now = target
+
+    def _sparse_step(self) -> None:
+        """Step one cycle, ticking only due components.
+
+        Mirrors :meth:`step`'s ordering exactly — sample, delivery,
+        controllers (index order), fill drain, cores (index order) —
+        but consults the due flags (heap pops, delivery acceptances,
+        fill arrivals, writeback unblocks) instead of broadcasting.
+        Deferred components are caught up on demand before any real
+        work touches them.
+        """
+        now = self.now
+        windex = self._windex
+        assert windex is not None
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if telemetry.next_sample <= now:
+                # Samplers read whole-system state at the top of the
+                # boundary cycle: catch every deferred component up
+                # first so they observe exactly what the oracle's
+                # broadcast engine would have produced.
+                self._sync_all(now)
+            telemetry.maybe_sample(now)
+        due = self._due_flag
+        windex.pop_due(now, due)
+        self._deliver_to_controller(now)
+        controllers = self.controllers
+        synced = self._synced
+        base = self._core_slot0
+        back_latency = self.config.back_latency
+        offset_bits = self.address_map.offset_bits
+        ticks = 0
+        for channel in range(base):
+            if not due[channel]:
+                continue
+            due[channel] = False
+            controller = controllers[channel]
+            if synced[channel] < now:
+                controller.skip_cycles(synced[channel], now)
+            for request in controller.tick(now):
+                line = request.address >> offset_bits
+                self._fill_seq += 1
+                heapq.heappush(
+                    self._to_cores,
+                    (now + back_latency, self._fill_seq,
+                     request.thread_id, line),
+                )
+            synced[channel] = now + 1
+            self._mark_dirty(channel)
+            ticks += 1
+        wb = self._wb_blocked
+        if wb:
+            # Completions above may have released write entries; a core
+            # whose head writeback just unblocked must tick this cycle
+            # to drain it, exactly when the broadcast engine would.
+            for core_id, (channel, version) in wb.items():
+                current = controllers[channel].buffers.version
+                if current == version:
+                    continue
+                if self._writeback_blocked(self.cores[core_id]):
+                    wb[core_id] = (channel, current)
+                else:
+                    due[base + core_id] = True
+        to_cores = self._to_cores
+        cores = self.cores
+        activity = self._core_activity
+        while to_cores and to_cores[0][0] <= now:
+            _, _, thread_id, line = heapq.heappop(to_cores)
+            activity[thread_id] += 1
+            slot = base + thread_id
+            if synced[slot] < now:
+                cores[thread_id].skip(synced[slot], now)
+                synced[slot] = now
+            cores[thread_id].on_fill(line, now)
+            due[slot] = True
+        for i, core in enumerate(cores):
+            slot = base + i
+            if not due[slot]:
+                continue
+            due[slot] = False
+            if synced[slot] < now:
+                core.skip(synced[slot], now)
+            core.tick(now)
+            synced[slot] = now + 1
+            self._mark_dirty(slot)
+            self._note_core_wb(i, core)
+            ticks += 1
+        self.engine_component_ticks += ticks
+        self.now = now + 1
+
+    def _run_event_indexed(self, limit: int) -> None:
+        while self.now < limit:
+            target = self._event_target_indexed(limit)
+            if target > self.now:
+                self._skip_span_indexed(target)
+                if self.now >= limit:
+                    break
+            self.engine_steps += 1
+            self._sparse_step()
+        # Leave no deferred accounting behind: measurement snapshots
+        # and checker/telemetry finalization read whole-system state.
+        self._sync_all(self.now)
+
     def run_cycles(self, cycles: int, fast_forward: bool = True) -> None:
         """Run until ``self.now`` reaches its current value plus ``cycles``.
 
         ``config.engine`` selects the loop: "event" jumps between
-        component wake times, "cycle" steps every cycle (the
-        differential oracle).  ``fast_forward=False`` forces the
-        per-cycle loop regardless of the configured engine.
+        component wake times (through the sharded wake index, or the
+        linear-scan oracle under ``REPRO_WAKE_INDEX=0``), "cycle" steps
+        every cycle (the differential oracle).  ``fast_forward=False``
+        forces the per-cycle loop regardless of the configured engine.
         """
         limit = self.now + cycles
         if not fast_forward or self.config.engine != "event":
             while self.now < limit:
                 self.step()
+            return
+        if self._windex is not None:
+            self._run_event_indexed(limit)
             return
         self._run_event(limit)
 
@@ -612,6 +1030,23 @@ class CmpSystem:
             extras["engine_steps"] = float(self.engine_steps)
             extras["engine_cycles_skipped"] = float(self.engine_cycles_skipped)
             extras["engine_skip_ratio"] = self.engine_cycles_skipped / total
+            extras["engine_event_target_calls"] = float(
+                self.engine_event_target_calls
+            )
+            if self._windex is not None:
+                # Wake-index internals: stale-entry collection rate and
+                # the fraction of component-ticks the sparse stepper
+                # actually executed (1.0 would be the broadcast engine).
+                extras["engine_wake_index"] = 1.0
+                extras["engine_stale_pops"] = float(self._windex.stale_pops)
+                extras["engine_wake_publishes"] = float(self._windex.publishes)
+                extras["engine_component_ticks"] = float(
+                    self.engine_component_ticks
+                )
+                possible = self.engine_steps * self._num_slots
+                extras["engine_sparse_tick_fraction"] = (
+                    self.engine_component_ticks / possible if possible else 0.0
+                )
         return SimResult(
             policy=self.controller.policy.name,
             cycles=window,

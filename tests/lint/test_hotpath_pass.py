@@ -141,3 +141,71 @@ class TestLegalityKernels:
         findings = run_rule("HOT500", project)
         assert len(findings) == 1
         assert "log.debug() call" in findings[0].message
+
+
+class TestWakeIndex:
+    def test_whole_module_is_hot(self, project_of, run_rule):
+        project = project_of({
+            "wakeindex.py": """
+                class WakeIndex:
+                    def min_wake(self):
+                        return sorted(self._heaps)[0]
+            """,
+        })
+        findings = run_rule("HOT500", project)
+        assert len(findings) == 1
+        assert "sorted()" in findings[0].message
+        assert "WakeIndex.min_wake" in findings[0].message
+
+    def test_constructor_is_skipped(self, project_of, run_rule):
+        project = project_of({
+            "wakeindex.py": """
+                class WakeIndex:
+                    def __init__(self, shard_of):
+                        self._heaps = [[] for _ in sorted(shard_of)]
+            """,
+        })
+        assert run_rule("HOT500", project) == []
+
+
+class TestSparseDispatch:
+    def test_sparse_step_is_hot(self, project_of, run_rule):
+        project = project_of({
+            "system.py": """
+                class CmpSystem:
+                    def _sparse_step(self):
+                        for slot in sorted(self._due):
+                            self._tick(slot)
+            """,
+        })
+        findings = run_rule("HOT500", project)
+        assert len(findings) == 1
+        assert "sorted()" in findings[0].message
+        assert "CmpSystem._sparse_step" in findings[0].message
+
+    def test_helper_reached_from_targeting_root(self, project_of, run_rule):
+        project = project_of({
+            "system.py": """
+                class CmpSystem:
+                    def _event_target_indexed(self, limit):
+                        return self._probe(limit)
+
+                    def _probe(self, limit):
+                        print(limit)
+                        return limit
+            """,
+        })
+        findings = run_rule("HOT500", project)
+        assert len(findings) == 1
+        assert "print() call" in findings[0].message
+        assert "CmpSystem._probe" in findings[0].message
+
+    def test_non_dispatch_methods_are_cold(self, project_of, run_rule):
+        project = project_of({
+            "system.py": """
+                class CmpSystem:
+                    def summary(self):
+                        return f"system with {len(self.cores)} cores"
+            """,
+        })
+        assert run_rule("HOT500", project) == []
