@@ -6,8 +6,9 @@ interference pair, vpr co-scheduled with art, and a four-processor mix
 (art+vpr+parser+crafty) — under the first-ready baseline and the
 fair-queuing scheduler.  No result cache, no fan-out.  The measured
 rates and the event engine's skip ratios land in ``BENCH_engine.json``
-at the repository root so the performance trajectory is tracked across
-changes.
+at the repository root — written through the shared manifest envelope
+(:mod:`repro.obs.manifest`), so ``repro-fqms perf`` can diff snapshots
+— and the performance trajectory is tracked across changes.
 
 Run length follows ``REPRO_SIM_CYCLES`` like every other benchmark, so
 CI can smoke-test with a short run while local measurements use the
@@ -16,13 +17,13 @@ tripwire below: the event engine must not fall behind the per-cycle
 oracle on the pair workload.
 """
 
-import json
-import platform
 from pathlib import Path
 from time import perf_counter
 
 from conftest import once
 
+from repro import env
+from repro.obs.manifest import write_bench_record
 from repro.sim.runner import default_warmup, run_workload
 from repro.workloads.spec2000 import profile as lookup_profile
 
@@ -108,25 +109,23 @@ def test_engine_throughput(benchmark, cycles):
                     f"  skip {row['skip_ratio']:.1%}"
                 )
 
-    RESULT_PATH.write_text(
-        json.dumps(
-            {
-                "measurement_cycles": cycles,
-                "warmup_cycles": default_warmup(cycles),
-                "rounds": ROUNDS,
-                "python": platform.python_version(),
-                "workloads": rows,
-                # Back-compat summary: the pair workload's event-engine
-                # rates under the original schema's key.
-                "workload": "vpr+art",
-                "cycles_per_second": {
-                    p: rows["vpr+art"][p]["event"]["cycles_per_second"]
-                    for p in POLICIES
-                },
+    write_bench_record(
+        RESULT_PATH,
+        "engine_throughput",
+        {
+            "measurement_cycles": cycles,
+            "warmup_cycles": default_warmup(cycles),
+            "rounds": ROUNDS,
+            "workloads": rows,
+            # Back-compat summary: the pair workload's event-engine
+            # rates under the original schema's key.
+            "workload": "vpr+art",
+            "cycles_per_second": {
+                p: rows["vpr+art"][p]["event"]["cycles_per_second"]
+                for p in POLICIES
             },
-            indent=2,
-        )
-        + "\n"
+        },
+        strict_gate=env.truthy("REPRO_BENCH_STRICT"),
     )
 
     for tag, policies in rows.items():

@@ -22,14 +22,13 @@ transfer across machines, the 0.95x gate against them is enforced only
 when ``REPRO_BENCH_STRICT`` is set (the relative tripwire always is).
 """
 
-import json
-import platform
 from pathlib import Path
 from time import perf_counter
 
 from conftest import once
 
 from repro import env
+from repro.obs.manifest import write_bench_record
 from repro.policy import SchedulingPolicy, register
 from repro.policy.packing import SEQ_BITS, TIME_BITS, KeyField
 from repro.sim.runner import default_warmup, run_workload
@@ -139,23 +138,20 @@ def test_policy_dispatch_overhead(benchmark, cycles):
             "the baselines (or unset the env var) before trusting this "
             "run."
         )
-    RESULT_PATH.write_text(
-        json.dumps(
-            {
-                "workload": "+".join(WORKLOAD),
-                "measurement_cycles": cycles,
-                "warmup_cycles": default_warmup(cycles),
-                "rounds": ROUNDS,
-                "python": platform.python_version(),
-                "cycles_per_second": rates,
-                "pre_refactor": PRE_REFACTOR,
-                "pre_refactor_floor": PRE_REFACTOR_FLOOR,
-                "hooked_floor": HOOKED_FLOOR,
-                "strict_gate_enforced": strict,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_bench_record(
+        RESULT_PATH,
+        "policy_overhead",
+        {
+            "workload": "+".join(WORKLOAD),
+            "measurement_cycles": cycles,
+            "warmup_cycles": default_warmup(cycles),
+            "rounds": ROUNDS,
+            "cycles_per_second": rates,
+            "pre_refactor": PRE_REFACTOR,
+            "pre_refactor_floor": PRE_REFACTOR_FLOOR,
+            "hooked_floor": HOOKED_FLOOR,
+        },
+        strict_gate=strict,
     )
 
     for policy, engines in rates.items():

@@ -27,14 +27,13 @@ indexed engine must beat the scan oracle outright, and under
 ``REPRO_BENCH_STRICT=1`` by at least ``STRICT_SPEEDUP_FLOOR``.
 """
 
-import json
-import platform
 from pathlib import Path
 from time import perf_counter
 
 from conftest import once
 
 from repro import env
+from repro.obs.manifest import write_bench_record
 from repro.sim.config import SystemConfig
 from repro.sim.runner import default_warmup
 from repro.sim.system import CmpSystem
@@ -126,20 +125,18 @@ def test_engine_scaling(benchmark, cycles):
             f"  sparse ticks {idx['sparse_tick_fraction']:.1%}"
         )
 
-    RESULT_PATH.write_text(
-        json.dumps(
-            {
-                "measurement_cycles": window,
-                "warmup_cycles": default_warmup(window),
-                "policy": POLICY,
-                "mix": list(MIX),
-                "cores_per_channel": CORES_PER_CHANNEL,
-                "python": platform.python_version(),
-                "sweep": sweep,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_bench_record(
+        RESULT_PATH,
+        "engine_scaling",
+        {
+            "measurement_cycles": window,
+            "warmup_cycles": default_warmup(window),
+            "policy": POLICY,
+            "mix": list(MIX),
+            "cores_per_channel": CORES_PER_CHANNEL,
+            "sweep": sweep,
+        },
+        strict_gate=env.flag("REPRO_BENCH_STRICT"),
     )
 
     tripwire = sweep[str(TRIPWIRE_CORES)]

@@ -12,6 +12,8 @@ Examples::
     repro-fqms report --workload vpr,art --policy FR-FCFS
     repro-fqms compare                # rank every registered policy
     repro-fqms compare --policies FR-FCFS,FQ-VFTF,BLISS --json cmp.json
+    repro-fqms sweep --progress --jobs 4       # live fleet dashboard
+    repro-fqms perf BENCH_old.json BENCH_new.json --threshold 0.1
 """
 
 from __future__ import annotations
@@ -179,11 +181,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "perf":
+        # Same pre-dispatch pattern: 'perf' compares two performance
+        # snapshots (obs manifests / BENCH files) and gates regressions.
+        from .obs.perfcli import main as perf_main
+
+        return perf_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        # And 'sweep' runs a (mix x policy) batch with optional live
+        # fleet progress and per-run manifests.
+        from .obs.sweepcli import main as sweep_main
+
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-fqms",
         description="Fair Queuing Memory Systems (MICRO 2006) reproduction; "
-        "'repro-fqms lint' runs the contract-aware static analysis "
-        "(see 'repro-fqms lint --help')",
+        "'repro-fqms lint' runs the contract-aware static analysis, "
+        "'repro-fqms perf' compares performance snapshots, and "
+        "'repro-fqms sweep' runs batches with live fleet progress "
+        "(each has its own --help)",
     )
     parser.add_argument(
         "experiment",
@@ -247,6 +263,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tracer + interval sampler) to every freshly simulated run; "
         "equivalent to REPRO_TRACE=1 (results are unchanged; batch "
         "runs served from the result cache are not re-traced)",
+    )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="attach the repro.obs engine-internals metrics registry to "
+        "every freshly simulated run; equivalent to REPRO_OBS=1 "
+        "(results are unchanged; see also REPRO_OBS_MANIFEST)",
     )
     parser.add_argument(
         "--workload",
@@ -314,6 +337,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Same environment plumbing again; tracing never changes
         # results, so it is deliberately NOT in cache fingerprints.
         os.environ["REPRO_TRACE"] = "1"
+    if args.obs:
+        # And once more for the engine-internals metrics registry.
+        os.environ["REPRO_OBS"] = "1"
     configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
 
     targets = FIGURES + ("ablations",) if args.experiment == "all" else (args.experiment,)

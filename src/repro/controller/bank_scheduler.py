@@ -147,6 +147,11 @@ class BankScheduler:
         #: Optional run telemetry (repro.telemetry); None in normal
         #: runs, so the issue hook costs one attribute test.
         self.telemetry = None
+        #: Optional policy-key memo counters (repro.obs); None in
+        #: normal runs.  RunObs.attach also rebinds ``_request_key`` /
+        #: ``_key_of`` to counting closures, so only the two loops that
+        #: inline the memo consult this attribute directly.
+        self.obs_keys = None
         self.queue: List[MemoryRequest] = []
         #: Queue-shape counters over the FULL queue (ignoring the
         #: write-drain gate): request counts by kind and how many of
@@ -459,6 +464,7 @@ class BankScheduler:
         read, write = CommandType.READ, CommandType.WRITE
         can_issue = self.dram.can_issue
         key_of = self._key_of
+        obs_keys = self.obs_keys
         for request in visible:
             if open_row is None:
                 kind = activate
@@ -474,6 +480,10 @@ class BankScheduler:
             if key is None:
                 key = key_of(request)
                 request.key_cache = key
+                if obs_keys is not None:
+                    obs_keys.misses += 1
+            elif obs_keys is not None:
+                obs_keys.hits += 1
             sort = (not ready, not kind.is_cas, key)
             if best_sort is None or sort < best_sort:
                 best_request, best_sort, best_kind = request, sort, kind
@@ -566,6 +576,7 @@ class BankScheduler:
         rank, bank_index = self.rank, self.bank
         can_issue = self.dram.can_issue
         key_of = self._key_of
+        obs_keys = self.obs_keys
         ready_pen = self._ready_pen
         cas_pen = self._cas_pen
         read_p = write_p = pre_p = -1
@@ -610,6 +621,10 @@ class BankScheduler:
             if key is None:
                 key = key_of(request)
                 request.key_cache = key
+                if obs_keys is not None:
+                    obs_keys.misses += 1
+            elif obs_keys is not None:
+                obs_keys.hits += 1
             sort = p + key
             if sort < best_sort:
                 best_request, best_sort, best_kind = request, sort, kind
@@ -794,7 +809,10 @@ class BankScheduler:
         activate, precharge = CommandType.ACTIVATE, CommandType.PRECHARGE
         read, write = CommandType.READ, CommandType.WRITE
         can_issue = self.dram.can_issue
-        policy_key = self.policy.request_key
+        # _key_of aliases policy.request_key on every non-packed path
+        # (the only paths that bind this variant); going through the
+        # alias lets repro.obs swap in a counting wrapper at attach.
+        policy_key = self._key_of
         key_over_cas = self.policy.key_over_cas
         for request in visible:
             if open_row is None:

@@ -141,6 +141,9 @@ class LegalityKernel:
         self.version = 0
         self._np_version = -1
         self._np_combined = None
+        #: Optional repro.obs KernelCounters; None in normal runs, so
+        #: every instrumented site pays one attribute test.
+        self.counters = None
         self.sync_all()
 
     # -- mirror maintenance -------------------------------------------------
@@ -199,6 +202,8 @@ class LegalityKernel:
                 self._sync_bank(rank, bank)
         self._sync_channel()
         self.version += 1
+        if self.counters is not None:
+            self.counters.syncs += 1
 
     def on_issue(self, kind: CommandType, rank: int, bank: int) -> None:
         """Refresh the mirrors touched by ``kind`` issuing to (rank, bank).
@@ -231,6 +236,9 @@ class LegalityKernel:
         object-walking ``DramSystem.earliest_issue_reference`` modulo
         the refresh fold, which the DRAM system applies on top.
         """
+        counters = self.counters
+        if counters is not None:
+            counters.queries += 1
         i = rank * self.num_banks + bank
         if kind.is_cas:
             t = self._cas[i]
@@ -316,6 +324,9 @@ class LegalityKernel:
         """
         if not flat_banks:
             return None
+        counters = self.counters
+        if counters is not None:
+            counters.batch_queries += 1
         if self.backend == "numpy":
             return self._horizon_numpy(flat_banks, masks)
         earliest: Optional[int] = None
@@ -330,6 +341,8 @@ class LegalityKernel:
         """Per-kind fully-combined int64 arrays (lazily rebuilt)."""
         if self._np_version == self.version:
             return self._np_combined
+        if self.counters is not None:
+            self.counters.rebuilds += 1
         np = _numpy()
         act = np.array(
             [FORBID if v is None else v for v in self._act], dtype=np.int64

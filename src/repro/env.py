@@ -134,6 +134,25 @@ ENV_VARS = (
         description="Test-suite only: rewrite golden report files "
         "instead of asserting against them.",
     ),
+    EnvVar(
+        "REPRO_OBS",
+        fingerprint_relevant=False,
+        description="Attaches the engine-internals metrics registry "
+        "(repro.obs) to every freshly simulated run (pure observer; "
+        "results are bit-identical either way).",
+    ),
+    EnvVar(
+        "REPRO_OBS_PHASES",
+        fingerprint_relevant=False,
+        description="With REPRO_OBS: also time the event-loop phases "
+        "(wall clock, write-only; never a simulation input).",
+    ),
+    EnvVar(
+        "REPRO_OBS_MANIFEST",
+        fingerprint_relevant=False,
+        description="Directory for per-run schema-validated manifests "
+        "written by the runner and sweep workers.",
+    ),
 )
 
 _DECLARED = {var.name: var for var in ENV_VARS}
@@ -175,6 +194,20 @@ def truthy(name: str) -> bool:
     """Python truthiness of the raw value (empty string is off)."""
     declared(name)
     return bool(os.environ.get(name))
+
+
+def snapshot() -> dict:
+    """Every declared knob currently set, as ``{name: raw value}``.
+
+    The env stamp run manifests carry: a reader can tell which knobs
+    shaped (or, for the semantics-free ones, merely accompanied) a
+    recorded run without trusting the producing shell's history.
+    """
+    return {
+        var.name: os.environ[var.name]
+        for var in ENV_VARS
+        if var.name in os.environ
+    }
 
 
 def positive_int(name: str, default: int) -> int:

@@ -4,10 +4,12 @@
 passes encode the *repository's own contracts* — the invariants generic
 linters cannot know:
 
-* DET001–DET007 — the determinism rules (randomness, wall clocks, set
-  iteration, float key equality, mutable defaults, banned imports),
-  migrated from the standalone ``tools/lint_determinism.py`` (now a
-  shim over this package).
+* DET001–DET008 — the determinism rules (randomness, wall clocks, set
+  iteration, float key equality, mutable defaults, banned imports in
+  the policy and obs packages), DET001–DET007 migrated from the
+  standalone ``tools/lint_determinism.py`` (now a shim over this
+  package); DET008 keeps :mod:`repro.obs` a pure observer whose only
+  wall-clock access is the registered ``repro/obs/phases.py`` module.
 * FPR100 — every ``SystemConfig`` field must reach the result-cache
   fingerprint, or sweeps silently read stale cached results.
 * ENV200 — every ``REPRO_*`` environment read must go through the

@@ -68,6 +68,17 @@ POLICY_BANNED_MODULES = {"time", "datetime", "random"}
 #: Path component marking a file as part of the policy package.
 POLICY_PACKAGE = "policy"
 
+#: Modules the obs package may not import at all (DET008): the
+#: observability layer is a pure observer whose outputs ride result
+#: manifests — randomness is banned outright, and the wall clock is
+#: confined to the single registered harness module
+#: (``repro/obs/phases.py``), which carries the one reasoned
+#: suppression.
+OBS_BANNED_MODULES = {"time", "datetime", "random"}
+
+#: Path component marking a file as part of the obs package.
+OBS_PACKAGE = "obs"
+
 _CACHE_KEY = "determinism.findings"
 
 
@@ -134,6 +145,7 @@ class _HazardVisitor(ast.NodeVisitor):
         self.set_names = set_names
         self.in_telemetry = TELEMETRY_PACKAGE in path.parts
         self.in_policy = POLICY_PACKAGE in path.parts
+        self.in_obs = OBS_PACKAGE in path.parts
         self.findings: List[Finding] = []
         #: Comprehension generators consumed by an order-insensitive
         #: reducer (``min(x for x in s)`` and ``min({...})`` shapes).
@@ -214,6 +226,19 @@ class _HazardVisitor(ast.NodeVisitor):
                 "simulated state, never host time or randomness",
             )
 
+    def _check_obs_import(self, node: ast.AST, module: str) -> None:
+        root = module.split(".", 1)[0]
+        if root in OBS_BANNED_MODULES:
+            self._emit(
+                node,
+                "DET008",
+                f"import of '{module}' inside the obs package; the "
+                "observability layer must stay a pure observer — wall-"
+                "clock access is confined to repro/obs/phases.py (the "
+                "registered harness module), randomness is banned "
+                "outright",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         if self.in_telemetry:
             for alias in node.names:
@@ -221,6 +246,9 @@ class _HazardVisitor(ast.NodeVisitor):
         if self.in_policy:
             for alias in node.names:
                 self._check_policy_import(node, alias.name)
+        if self.in_obs:
+            for alias in node.names:
+                self._check_obs_import(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -228,6 +256,8 @@ class _HazardVisitor(ast.NodeVisitor):
             self._check_telemetry_import(node, node.module)
         if self.in_policy and node.module is not None and node.level == 0:
             self._check_policy_import(node, node.module)
+        if self.in_obs and node.module is not None and node.level == 0:
+            self._check_obs_import(node, node.module)
         if node.module == "random":
             imported = {alias.name for alias in node.names}
             bad = sorted(imported & GLOBAL_RANDOM_FUNCS)
@@ -394,7 +424,16 @@ class PolicyImportPass(_DeterminismPass):
     title = "time/RNG imports inside the policy package"
 
 
+@register
+class ObsImportPass(_DeterminismPass):
+    rule = "DET008"
+    title = "time/RNG imports inside the obs package"
+
+
 #: Rule ids this module provides, in catalog order (used by the shim).
+#: DET008 is deliberately absent: the shim's golden corpus predates the
+#: obs package, and the standalone tool keeps its pinned DET001–DET007
+#: surface; the framework registry carries DET008.
 DET_RULES = (
     "DET001", "DET002", "DET003", "DET004", "DET005", "DET006", "DET007",
 )

@@ -1,0 +1,185 @@
+"""``repro-fqms perf``: compare performance snapshots, gate regressions.
+
+Loads two snapshots — obs manifests, migrated bench records, or legacy
+(pre-schema) ``BENCH_*.json`` files — flattens both into the shared
+``dotted.name -> float`` metric namespace, prints per-metric deltas,
+and exits nonzero when a *gated* metric regressed beyond the
+threshold.
+
+Gating is directional and name-driven, matching the conventions the
+bench suite already uses:
+
+* throughput metrics (``cycles_per_second`` anywhere in the name) are
+  higher-better;
+* latency/time metrics (``_s`` suffix, ``us_per_step``, ``latency``)
+  are lower-better;
+* everything else (counts, ratios, config echoes) is shown for context
+  but never gates — a changed ``engine_steps`` is information, not a
+  regression.
+
+Exit codes: 0 = within threshold, 1 = regression, 2 = usage/load
+error.  CI runs the identity compare (a snapshot against itself, must
+exit 0) and a synthetic ``0.85×`` throughput injection (must exit 1)
+so the verdict logic itself is regression-tested.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..stats.report import render_table
+from .manifest import ManifestError, load_metrics
+
+#: Fractional slowdown tolerated on gated metrics before failing.
+DEFAULT_THRESHOLD = 0.10
+
+#: Substrings marking a metric as higher-better (gates on decrease).
+HIGHER_BETTER_MARKERS = ("cycles_per_second",)
+
+#: Name shapes marking a metric as lower-better (gates on increase).
+LOWER_BETTER_SUFFIXES = ("_s",)
+LOWER_BETTER_MARKERS = ("us_per_step", "latency")
+
+
+def metric_direction(name: str) -> Optional[int]:
+    """+1 if higher is better, -1 if lower is better, None if ungated."""
+    if any(marker in name for marker in HIGHER_BETTER_MARKERS):
+        return 1
+    if name.endswith(LOWER_BETTER_SUFFIXES):
+        return -1
+    if any(marker in name for marker in LOWER_BETTER_MARKERS):
+        return -1
+    return None
+
+
+class MetricDelta:
+    """One metric's baseline→candidate movement and verdict."""
+
+    __slots__ = ("name", "baseline", "candidate", "direction")
+
+    def __init__(self, name: str, baseline: float, candidate: float):
+        self.name = name
+        self.baseline = baseline
+        self.candidate = candidate
+        self.direction = metric_direction(name)
+
+    @property
+    def change(self) -> float:
+        """Fractional change, positive = candidate larger."""
+        if self.baseline == 0.0:
+            return 0.0 if self.candidate == 0.0 else float("inf")
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+    def regressed(self, threshold: float) -> bool:
+        if self.direction is None:
+            return False
+        if self.direction > 0:
+            return self.change < -threshold
+        return self.change > threshold
+
+
+def compare_metrics(
+    baseline: Dict[str, float],
+    candidate: Dict[str, float],
+    match: Optional[str] = None,
+) -> List[MetricDelta]:
+    """Deltas for every metric present in both snapshots (name-sorted)."""
+    deltas = []
+    for name in sorted(set(baseline) & set(candidate)):
+        if match and match not in name:
+            continue
+        deltas.append(MetricDelta(name, baseline[name], candidate[name]))
+    return deltas
+
+
+def _fmt_change(delta: MetricDelta) -> str:
+    change = delta.change
+    if change == float("inf"):
+        return "+inf"
+    return f"{change * 100.0:+.1f}%"
+
+
+def render_deltas(
+    deltas: Sequence[MetricDelta], threshold: float, show_all: bool
+) -> str:
+    """The delta table: gated metrics always, ungated only with --all."""
+    rows: List[Tuple[str, float, float, str, str]] = []
+    for delta in deltas:
+        gated = delta.direction is not None
+        if not gated and not show_all:
+            continue
+        if gated:
+            verdict = "REGRESSED" if delta.regressed(threshold) else "ok"
+        else:
+            verdict = "-"
+        rows.append(
+            (delta.name, delta.baseline, delta.candidate, _fmt_change(delta), verdict)
+        )
+    if not rows:
+        return "(no comparable metrics)"
+    return render_table(
+        ["metric", "baseline", "candidate", "change", "verdict"], rows
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fqms perf",
+        description=(
+            "Compare two performance snapshots (obs manifests or BENCH "
+            "files) and fail on regressions beyond the threshold."
+        ),
+    )
+    parser.add_argument("baseline", help="baseline snapshot (JSON)")
+    parser.add_argument("candidate", help="candidate snapshot (JSON)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional regression tolerance on gated metrics "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--metric",
+        default=None,
+        help="only compare metrics whose dotted name contains this substring",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="also list ungated (informational) metrics",
+    )
+    return parser
+
+
+def main(argv: Sequence[str]) -> int:
+    args = build_parser().parse_args(list(argv))
+    if args.threshold < 0:
+        print("perf: --threshold must be non-negative")
+        return 2
+    try:
+        _, base_metrics = load_metrics(args.baseline)
+        _, cand_metrics = load_metrics(args.candidate)
+    except (OSError, ValueError) as exc:  # ManifestError is a ValueError
+        kind = "manifest" if isinstance(exc, ManifestError) else "snapshot"
+        print(f"perf: failed to load {kind}: {exc}")
+        return 2
+    deltas = compare_metrics(base_metrics, cand_metrics, match=args.metric)
+    print(f"perf: {args.baseline} -> {args.candidate}")
+    print(render_deltas(deltas, args.threshold, args.all))
+    regressions = [d for d in deltas if d.regressed(args.threshold)]
+    gated = sum(1 for d in deltas if d.direction is not None)
+    if regressions:
+        print(
+            f"perf: REGRESSION — {len(regressions)}/{gated} gated metrics "
+            f"beyond {args.threshold * 100.0:.0f}%:"
+        )
+        for delta in regressions:
+            print(f"  {delta.name}: {_fmt_change(delta)}")
+        return 1
+    print(
+        f"perf: ok — {gated} gated metrics within "
+        f"{args.threshold * 100.0:.0f}%"
+    )
+    return 0

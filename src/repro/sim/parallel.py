@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import env
+from ..obs import fleet, manifest_dir
 from ..policy import BASELINE_POLICY, canonical
 from ..workloads.spec2000 import profile as lookup_profile
 from ..workloads.synthetic import BenchmarkProfile
@@ -100,6 +101,11 @@ def group_spec(
     return RunSpec("group", tuple(names), policy, 1.0, cycles, warmup, seed)
 
 
+def run_label(spec: RunSpec) -> str:
+    """Human-readable fleet-dashboard id for ``spec``."""
+    return f"{'+'.join(spec.names)}:{spec.policy}@s{spec.seed}"
+
+
 def execute_spec(spec: RunSpec) -> SimResult:
     """Simulate ``spec`` from scratch (no cache layers consulted)."""
     config, profiles = spec.build()
@@ -108,7 +114,50 @@ def execute_spec(spec: RunSpec) -> SimResult:
     # its buffers are per-run artifacts that the result cache cannot
     # round-trip — traced runs go through the dedicated driver.
     system = CmpSystem(config, profiles, trace=False)
-    return system.run(spec.cycles, warmup=spec.warmup)
+    # Progress heartbeats ride a side thread sampling ``system.now``;
+    # the simulation itself is untouched (chunking the run to emit
+    # between chunks would change the engine_* extras and fork cached
+    # results — see repro.obs.fleet).
+    queue = fleet.worker_queue()
+    heartbeat = None
+    if queue is not None:
+        heartbeat = fleet.WorkerHeartbeat(
+            queue, run_label(spec), spec.warmup + spec.cycles
+        )
+        heartbeat.start(system)
+    try:
+        result = system.run(spec.cycles, warmup=spec.warmup)
+    except BaseException:
+        if heartbeat is not None:
+            heartbeat.finish("error")
+        raise
+    if heartbeat is not None:
+        heartbeat.finish("done")
+    out_dir = manifest_dir()
+    if out_dir:
+        _write_run_manifest(out_dir, spec, system, result)
+    return result
+
+
+def _write_run_manifest(out_dir: str, spec: RunSpec, system, result) -> None:
+    """Best-effort per-run manifest (REPRO_OBS_MANIFEST): never fatal."""
+    from ..obs.manifest import emit_run_manifest
+
+    try:
+        emit_run_manifest(
+            out_dir,
+            fingerprint=spec.fingerprint(),
+            policy=spec.policy,
+            workload=spec.names,
+            cycles=spec.cycles,
+            warmup=spec.warmup,
+            seed=spec.seed,
+            result=result,
+            source="fresh",
+            obs=system.obs,
+        )
+    except OSError:
+        pass
 
 
 def default_jobs() -> int:
@@ -129,7 +178,9 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def run_many(
-    specs: Iterable[RunSpec], jobs: Optional[int] = None
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    monitor: Optional["fleet.FleetMonitor"] = None,
 ) -> Dict[RunSpec, SimResult]:
     """Execute ``specs`` (deduplicated), returning spec → result.
 
@@ -138,6 +189,12 @@ def run_many(
     when ``jobs`` resolves to 1, otherwise fanned out across a process
     pool.  Every result (loaded or fresh) is written back to the memo,
     and fresh results to the disk cache, by the parent process.
+
+    ``monitor`` (a :class:`repro.obs.fleet.FleetMonitor`) streams live
+    progress: cache-served specs report ``cached`` immediately, and
+    simulated specs heartbeat from their workers through the monitor's
+    queue.  Purely observational — results are identical with or
+    without it.
     """
     from . import runner  # runner imports this module; bind lazily
 
@@ -154,16 +211,26 @@ def run_many(
                 runner.memo_put(spec, hit)
         if hit is not None:
             results[spec] = hit
+            if monitor is not None:
+                # Through the queue (not the state directly) so the
+                # monitor's update callback fires on the next pump.
+                total = spec.warmup + spec.cycles
+                fleet.post(
+                    monitor.queue,
+                    fleet.heartbeat_event(run_label(spec), "cached", total, total),
+                )
         else:
             misses.append(spec)
+    if monitor is not None:
+        monitor.pump()
 
     if not misses:
         return results
 
     if jobs == 1 or len(misses) == 1:
-        fresh = [(spec, execute_spec(spec)) for spec in misses]
+        fresh = _inline_execute(misses, monitor)
     else:
-        fresh = _pool_execute(misses, jobs)
+        fresh = _pool_execute(misses, jobs, monitor)
 
     for spec, result in fresh:
         runner.memo_put(spec, result)
@@ -173,22 +240,54 @@ def run_many(
     return results
 
 
+def _inline_execute(
+    specs: Sequence[RunSpec], monitor: Optional["fleet.FleetMonitor"]
+) -> List[Tuple[RunSpec, SimResult]]:
+    """Execute ``specs`` in this process, heartbeating when monitored."""
+    if monitor is None:
+        return [(spec, execute_spec(spec)) for spec in specs]
+    fleet.init_worker(monitor.queue)
+    try:
+        done = []
+        for spec in specs:
+            done.append((spec, execute_spec(spec)))
+            monitor.pump()
+        return done
+    finally:
+        fleet.init_worker(None)
+
+
 def _pool_execute(
-    specs: Sequence[RunSpec], jobs: int
+    specs: Sequence[RunSpec],
+    jobs: int,
+    monitor: Optional["fleet.FleetMonitor"] = None,
 ) -> List[Tuple[RunSpec, SimResult]]:
     """Fan ``specs`` out over a process pool; fall back in-process on failure.
 
     The fallback keeps restricted environments (no ``fork``, no
     semaphores — some CI sandboxes) working at ``jobs=1`` speed rather
-    than crashing the sweep.
+    than crashing the sweep.  With a monitor, workers are initialized
+    with its heartbeat queue and the scheduling loop wakes on a short
+    timeout to pump events between completions.
     """
+    initializer = fleet.init_worker if monitor is not None else None
+    initargs = (monitor.queue,) if monitor is not None else ()
+    timeout = fleet.HEARTBEAT_INTERVAL_S if monitor is not None else None
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(specs)),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
             futures = {pool.submit(execute_spec, spec): spec for spec in specs}
             done: List[Tuple[RunSpec, SimResult]] = []
             pending = set(futures)
             while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                finished, pending = wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if monitor is not None:
+                    monitor.pump()
                 for future in finished:
                     done.append((futures[future], future.result()))
             # Report in submission order so downstream writes are
@@ -197,4 +296,4 @@ def _pool_execute(
             done.sort(key=lambda pair: order[pair[0]])
             return done
     except (OSError, PermissionError, NotImplementedError):
-        return [(spec, execute_spec(spec)) for spec in specs]
+        return _inline_execute(specs, monitor)

@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from .. import env
 from ..core.shares import equal_shares
+from ..obs import manifest_dir
 from ..policy import BASELINE_POLICY
 from ..workloads.spec2000 import profile as lookup_profile
 from ..workloads.synthetic import BenchmarkProfile
@@ -134,7 +135,30 @@ def run_workload(
     system = CmpSystem(config, profiles, trace=trace)
     if warmup is None:
         warmup = default_warmup(cycles)
-    return system.run(cycles, warmup=warmup)
+    result = system.run(cycles, warmup=warmup)
+    out_dir = manifest_dir()
+    if out_dir:
+        # Same best-effort per-run manifest the batch workers emit.
+        from ..obs.manifest import emit_run_manifest
+
+        try:
+            emit_run_manifest(
+                out_dir,
+                fingerprint=result_cache.fingerprint(
+                    config, list(profiles), cycles, warmup, seed
+                ),
+                policy=config.policy,
+                workload=[p.name for p in profiles],
+                cycles=cycles,
+                warmup=warmup,
+                seed=seed,
+                result=result,
+                source="fresh",
+                obs=system.obs,
+            )
+        except OSError:
+            pass
+    return result
 
 
 def _registered(profile: BenchmarkProfile) -> bool:

@@ -25,6 +25,8 @@ from ..controller.request import MemoryRequest, RequestKind
 from ..cpu.core_model import OooCore
 from ..cpu.hierarchy import CacheHierarchy
 from ..dram.dram_system import DramSystem
+from ..obs import RunObs, obs_enabled, phases_enabled
+from ..obs.engine import ENGINE_EXTRA_PREFIX, engine_extras
 from ..policy import make_policy
 from ..telemetry import RunTelemetry, trace_enabled
 from .config import SystemConfig
@@ -94,6 +96,7 @@ class CmpSystem:
         check: Optional[bool] = None,
         trace: Optional[bool] = None,
         wake_index: Optional[bool] = None,
+        obs: Optional[bool] = None,
     ):
         """Build a system running one workload per core.
 
@@ -114,6 +117,13 @@ class CmpSystem:
         (request-lifecycle tracer + interval sampler) the same way;
         ``None`` defers to ``REPRO_TRACE``.  Tracing never changes
         results either — hooks are pure readers.
+
+        ``obs`` attaches the :mod:`repro.obs` engine-internals metrics
+        registry (wake-index churn, legality-kernel traffic, policy-key
+        memo effectiveness; with ``REPRO_OBS_PHASES`` also event-loop
+        phase timings) the same way; ``None`` defers to ``REPRO_OBS``.
+        Another pure observer — the obs-on/off differential tests pin
+        bit-identical results.
 
         ``wake_index`` selects the event engine's targeting machinery:
         True uses the sharded wake index with sparse ticking, False the
@@ -292,6 +302,20 @@ class CmpSystem:
                     scheduler.telemetry = telemetry
             for core in self.cores:
                 core.telemetry = telemetry
+        if obs is None:
+            obs = obs_enabled()
+        #: Optional engine-internals observability (repro.obs); like
+        #: telemetry, one shared instance fanned out at attach time, or
+        #: None (each hot site then pays one attribute test).
+        self.obs: Optional[RunObs] = None
+        #: The phase timer alone, hoisted by the engine loops; None
+        #: unless both REPRO_OBS and REPRO_OBS_PHASES are set.
+        self._obs_phases = None
+        if obs:
+            run_obs = RunObs(phase_timing=phases_enabled())
+            self.obs = run_obs
+            self._obs_phases = run_obs.phases
+            run_obs.attach(self)
 
     #: Memoized prewarm fill sequences, keyed by (workload, seed,
     #: base address, line size).  The stream is a pure function of the
@@ -455,7 +479,12 @@ class CmpSystem:
             # or off, per-cycle or event-driven, the sampler observes
             # the exact same top-of-boundary state.
             self.telemetry.maybe_sample(now)
+        phases = self._obs_phases
+        if phases is not None:
+            phases.begin("delivery")
         self._deliver_to_controller(now)
+        if phases is not None:
+            phases.begin("scheduling")
         for controller in self.controllers:
             for request in controller.tick(now):
                 line = request.address >> self.address_map.offset_bits
@@ -470,6 +499,8 @@ class CmpSystem:
                     ),
                 )
 
+        if phases is not None:
+            phases.begin("dispatch")
         while self._to_cores and self._to_cores[0][0] <= now:
             _, _, thread_id, line = heapq.heappop(self._to_cores)
             self._core_activity[thread_id] += 1
@@ -617,7 +648,10 @@ class CmpSystem:
         activity = self._core_activity
         seen = self._activity_seen
         wake_cache = self._core_wake
+        phases = self._obs_phases
         while self.now < limit:
+            if phases is not None:
+                phases.begin("targeting")
             target = self._event_target(limit)
             if target > self.now:
                 self._skip_span(target)
@@ -835,9 +869,14 @@ class CmpSystem:
                 # broadcast engine would have produced.
                 self._sync_all(now)
             telemetry.maybe_sample(now)
+        phases = self._obs_phases
         due = self._due_flag
         windex.pop_due(now, due)
+        if phases is not None:
+            phases.begin("delivery")
         self._deliver_to_controller(now)
+        if phases is not None:
+            phases.begin("scheduling")
         controllers = self.controllers
         synced = self._synced
         base = self._core_slot0
@@ -875,6 +914,8 @@ class CmpSystem:
                     wb[core_id] = (channel, current)
                 else:
                     due[base + core_id] = True
+        if phases is not None:
+            phases.begin("dispatch")
         to_cores = self._to_cores
         cores = self.cores
         activity = self._core_activity
@@ -903,7 +944,10 @@ class CmpSystem:
         self.now = now + 1
 
     def _run_event_indexed(self, limit: int) -> None:
+        phases = self._obs_phases
         while self.now < limit:
+            if phases is not None:
+                phases.begin("targeting")
             target = self._event_target_indexed(limit)
             if target > self.now:
                 self._skip_span_indexed(target)
@@ -978,6 +1022,8 @@ class CmpSystem:
             checker.finalize(self.now)
         if self.telemetry is not None:
             self.telemetry.finalize(self.now)
+        if self.obs is not None:
+            self.obs.finalize(self)
         return self._result(before, after)
 
     def check_summary(self) -> Dict[str, int]:
@@ -1024,29 +1070,10 @@ class CmpSystem:
             * self.dram.num_ranks
             * self.config.num_channels
         )
-        extras: Dict[str, float] = {}
-        total = self.engine_steps + self.engine_cycles_skipped
-        if total:
-            extras["engine_steps"] = float(self.engine_steps)
-            extras["engine_cycles_skipped"] = float(self.engine_cycles_skipped)
-            extras["engine_skip_ratio"] = self.engine_cycles_skipped / total
-            extras["engine_event_target_calls"] = float(
-                self.engine_event_target_calls
-            )
-            if self._windex is not None:
-                # Wake-index internals: stale-entry collection rate and
-                # the fraction of component-ticks the sparse stepper
-                # actually executed (1.0 would be the broadcast engine).
-                extras["engine_wake_index"] = 1.0
-                extras["engine_stale_pops"] = float(self._windex.stale_pops)
-                extras["engine_wake_publishes"] = float(self._windex.publishes)
-                extras["engine_component_ticks"] = float(
-                    self.engine_component_ticks
-                )
-                possible = self.engine_steps * self._num_slots
-                extras["engine_sparse_tick_fraction"] = (
-                    self.engine_component_ticks / possible if possible else 0.0
-                )
+        # Execution-facts block (engine_* keys), shared with the obs
+        # registry's canonical names and identical whether obs is
+        # attached or not — see repro.obs.engine.
+        extras = engine_extras(self)
         return SimResult(
             policy=self.controller.policy.name,
             cycles=window,
@@ -1063,11 +1090,12 @@ def comparable_result(result: SimResult) -> SimResult:
 
     The ``engine_*`` extras describe how the run was executed (steps vs
     skipped cycles), not what it computed; differential checks between
-    the event and cycle engines must ignore them.
+    the event and cycle engines must ignore them.  The prefix is owned
+    by :mod:`repro.obs.engine`, next to the code that emits the keys.
     """
     extras = {
         key: value
         for key, value in result.extras.items()
-        if not key.startswith("engine_")
+        if not key.startswith(ENGINE_EXTRA_PREFIX)
     }
     return replace(result, extras=extras)

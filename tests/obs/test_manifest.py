@@ -1,0 +1,157 @@
+"""Manifest schema: flatten, validation, atomic writes, legacy loads."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    ManifestError,
+    bench_record,
+    emit_run_manifest,
+    flatten,
+    load_manifest,
+    load_metrics,
+    new_manifest,
+    result_digest,
+    run_manifest,
+    validate_manifest,
+    write_bench_record,
+    write_manifest,
+)
+from repro.sim.system import SimResult, ThreadResult
+
+
+def _result():
+    return SimResult(
+        policy="FQ-VFTF",
+        cycles=1000,
+        threads=[
+            ThreadResult(
+                name="vpr",
+                instructions=500.0,
+                cycles=1000,
+                mean_read_latency=100.0,
+                bus_utilization=0.4,
+                reads=100,
+                writes=20,
+                nacks=0,
+            )
+        ],
+        data_bus_utilization=0.4,
+        bank_utilization=0.2,
+        refreshes=3,
+        extras={"engine_steps": 900.0},
+    )
+
+
+class TestFlatten:
+    def test_numeric_leaves_become_dotted_paths(self):
+        flat = flatten({"a": {"b": 1, "c": 2.5}, "d": 3})
+        assert flat == {"a.b": 1.0, "a.c": 2.5, "d": 3.0}
+
+    def test_lists_index_as_components(self):
+        assert flatten({"xs": [1, 2]}) == {"xs.0": 1.0, "xs.1": 2.0}
+
+    def test_strings_and_bools_are_skipped(self):
+        assert flatten({"name": "vpr", "strict": True, "n": 1}) == {"n": 1.0}
+
+
+class TestValidation:
+    def test_fresh_bench_record_is_valid(self):
+        assert validate_manifest(bench_record("b", {"x": 1})) == []
+
+    def test_non_object_rejected(self):
+        assert validate_manifest([1, 2]) == ["manifest must be a JSON object"]
+
+    def test_wrong_schema_named(self):
+        payload = bench_record("b", {})
+        payload["schema"] = "repro.obs/999"
+        assert any("schema" in p for p in validate_manifest(payload))
+
+    def test_unknown_kind_named(self):
+        payload = new_manifest("bench", bench="b", data={}, strict_gate=None)
+        payload["kind"] = "mystery"
+        assert any("kind" in p for p in validate_manifest(payload))
+
+    def test_string_valued_metric_rejected(self):
+        payload = bench_record("b", {})
+        payload["metrics"]["rate"] = "fast"
+        assert any("metrics" in p for p in validate_manifest(payload))
+
+    def test_run_kind_requires_window_and_digest(self):
+        payload = new_manifest("run", fingerprint="f", policy="p", workload=["vpr"])
+        problems = validate_manifest(payload)
+        assert any("window" in p for p in problems)
+        assert any("digest" in p for p in problems)
+
+    def test_profile_kind_requires_command(self):
+        assert any(
+            "command" in p for p in validate_manifest(new_manifest("profile"))
+        )
+
+
+class TestWriter:
+    def test_invalid_payload_never_lands_on_disk(self, tmp_path):
+        target = tmp_path / "bad.json"
+        with pytest.raises(ManifestError):
+            write_manifest(target, {"schema": MANIFEST_SCHEMA, "kind": "nope"})
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []  # no orphaned temp files
+
+    def test_roundtrip_through_loader(self, tmp_path):
+        path = write_bench_record(tmp_path / "b.json", "bench", {"rate": 10})
+        payload = load_manifest(path)
+        assert payload["bench"] == "bench"
+        assert payload["metrics"] == {"rate": 10.0}
+
+    def test_loader_rejects_corrupt_manifest(self, tmp_path):
+        path = tmp_path / "torn.json"
+        good = bench_record("b", {"rate": 10})
+        del good["metrics"]
+        path.write_text(json.dumps(good))
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+    def test_load_metrics_accepts_legacy_schemaless_bench(self, tmp_path):
+        path = tmp_path / "BENCH_legacy.json"
+        path.write_text(json.dumps({"cycles_per_second": {"FQ-VFTF": 90000.5}}))
+        payload, flat = load_metrics(path)
+        assert "schema" not in payload
+        assert flat == {"cycles_per_second.FQ-VFTF": 90000.5}
+
+
+class TestRunManifests:
+    def test_digest_is_content_stable(self):
+        assert result_digest(_result()) == result_digest(_result())
+
+    def test_run_manifest_validates_and_carries_result_metrics(self):
+        payload = run_manifest(
+            fingerprint="ab" * 32,
+            policy="FQ-VFTF",
+            workload=["vpr", "art"],
+            cycles=1000,
+            warmup=250,
+            seed=0,
+            result=_result(),
+        )
+        assert validate_manifest(payload) == []
+        assert payload["labels"]["run.source"] == "fresh"
+        assert payload["metrics"]["thread.0.ipc"] == 0.5
+        assert payload["metrics"]["extras.engine_steps"] == 900.0
+
+    def test_emit_names_file_by_fingerprint(self, tmp_path):
+        fingerprint = "cd" * 32
+        path = emit_run_manifest(
+            tmp_path,
+            fingerprint=fingerprint,
+            policy="FQ-VFTF",
+            workload=["vpr"],
+            cycles=1000,
+            warmup=250,
+            seed=0,
+            result=_result(),
+            source="cache",
+        )
+        assert path.name == f"run-{fingerprint[:16]}.json"
+        assert load_manifest(path)["labels"]["run.source"] == "cache"

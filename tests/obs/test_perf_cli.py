@@ -1,0 +1,98 @@
+"""``repro-fqms perf``: direction inference, verdicts, exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import write_bench_record
+from repro.obs.perfcli import MetricDelta, compare_metrics, main, metric_direction
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "name, direction",
+        [
+            ("cycles_per_second.FQ-VFTF", 1),
+            ("workloads.vpr+art.FR-FCFS.event.cycles_per_second", 1),
+            ("phase.targeting_s", -1),
+            ("sweep.16.indexed.us_per_step", -1),
+            ("thread.0.mean_read_latency", -1),
+            ("engine.steps", None),
+            ("skip_ratio", None),
+        ],
+    )
+    def test_name_driven_direction(self, name, direction):
+        assert metric_direction(name) == direction
+
+    def test_throughput_drop_regresses(self):
+        delta = MetricDelta("cycles_per_second", 100.0, 85.0)
+        assert delta.regressed(0.10)
+        assert not delta.regressed(0.20)
+
+    def test_throughput_gain_never_regresses(self):
+        assert not MetricDelta("cycles_per_second", 100.0, 150.0).regressed(0.1)
+
+    def test_latency_rise_regresses(self):
+        assert MetricDelta("us_per_step", 10.0, 12.0).regressed(0.10)
+        assert not MetricDelta("us_per_step", 10.0, 8.0).regressed(0.10)
+
+    def test_ungated_metric_never_regresses(self):
+        assert not MetricDelta("engine.steps", 100.0, 1.0).regressed(0.10)
+
+    def test_compare_intersects_namespaces(self):
+        deltas = compare_metrics({"a": 1.0, "b": 2.0}, {"b": 2.0, "c": 3.0})
+        assert [d.name for d in deltas] == ["b"]
+
+
+class TestExitCodes:
+    def _snapshot(self, tmp_path, name, scale=1.0):
+        return str(
+            write_bench_record(
+                tmp_path / name,
+                "engine_throughput",
+                {
+                    "cycles_per_second": {"FQ-VFTF": 100_000.0 * scale},
+                    "engine_steps": 12345,
+                },
+            )
+        )
+
+    def test_identity_compare_exits_zero(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path, "base.json")
+        assert main([snap, snap]) == 0
+        assert "perf: ok" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_one(self, tmp_path, capsys):
+        base = self._snapshot(tmp_path, "base.json")
+        slow = self._snapshot(tmp_path, "slow.json", scale=0.85)
+        assert main([base, slow]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "cycles_per_second.FQ-VFTF" in out
+
+    def test_threshold_widens_the_gate(self, tmp_path):
+        base = self._snapshot(tmp_path, "base.json")
+        slow = self._snapshot(tmp_path, "slow.json", scale=0.85)
+        assert main([base, slow, "--threshold", "0.2"]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path):
+        snap = self._snapshot(tmp_path, "base.json")
+        assert main([snap, str(tmp_path / "absent.json")]) == 2
+
+    def test_corrupt_manifest_exits_two(self, tmp_path):
+        snap = self._snapshot(tmp_path, "base.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro.obs/1", "kind": "nope"}))
+        assert main([snap, str(bad)]) == 2
+
+    def test_legacy_schemaless_snapshots_compare(self, tmp_path):
+        legacy = tmp_path / "BENCH_old.json"
+        legacy.write_text(json.dumps({"cycles_per_second": {"FQ-VFTF": 100000.0}}))
+        migrated = self._snapshot(tmp_path, "new.json")
+        assert main([str(legacy), migrated]) == 0
+
+    def test_metric_filter_restricts_comparison(self, tmp_path, capsys):
+        base = self._snapshot(tmp_path, "base.json")
+        slow = self._snapshot(tmp_path, "slow.json", scale=0.85)
+        # Filtered to an ungated metric: the regression is out of scope.
+        assert main([base, slow, "--metric", "engine_steps"]) == 0
