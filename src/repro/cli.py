@@ -58,20 +58,28 @@ from .sim.runner import DEFAULT_CYCLES
 FIGURES = ("figure1", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9")
 
 
-def _run_figure(name: str, cycles: int, seed: int, jobs: Optional[int] = None):
+def _run_figure(
+    name: str,
+    cycles: int,
+    seed: int,
+    jobs: Optional[int] = None,
+    store: Optional[Any] = None,
+):
     if name == "figure1":
-        return run_figure1(cycles=cycles, seed=seed, jobs=jobs)
+        return run_figure1(cycles=cycles, seed=seed, jobs=jobs, store=store)
     if name == "figure4":
-        return run_figure4(cycles=cycles, seed=seed, jobs=jobs)
+        return run_figure4(cycles=cycles, seed=seed, jobs=jobs, store=store)
     if name in ("figure5", "figure6", "figure7"):
-        outcomes = run_pairs(cycles=cycles, seed=seed, jobs=jobs)
+        outcomes = run_pairs(cycles=cycles, seed=seed, jobs=jobs, store=store)
         runner = {"figure5": run_figure5, "figure6": run_figure6, "figure7": run_figure7}
         return runner[name](outcomes=outcomes)
     if name in ("figure8", "figure9"):
-        outcomes = run_quads(cycles=cycles, seed=seed, jobs=jobs)
+        outcomes = run_quads(cycles=cycles, seed=seed, jobs=jobs, store=store)
         if name == "figure8":
             return run_figure8(outcomes=outcomes)
-        return run_figure9(cycles=cycles, seed=seed, outcomes=outcomes, jobs=jobs)
+        return run_figure9(
+            cycles=cycles, seed=seed, outcomes=outcomes, jobs=jobs, store=store
+        )
     raise ValueError(f"unknown figure {name!r}")
 
 
@@ -193,13 +201,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .obs.sweepcli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] in ("serve", "submit", "status", "results"):
+        # The experiment-service family: 'serve' runs the fair-queued
+        # async orchestrator, 'submit'/'status' talk to it over the
+        # JSON-line protocol, 'results' queries the result store
+        # directly (no service needed).
+        from .serve.cli import main as serve_main
+
+        return serve_main(argv)
     parser = argparse.ArgumentParser(
         prog="repro-fqms",
         description="Fair Queuing Memory Systems (MICRO 2006) reproduction; "
         "'repro-fqms lint' runs the contract-aware static analysis, "
         "'repro-fqms perf' compares performance snapshots, and "
-        "'repro-fqms sweep' runs batches with live fleet progress "
-        "(each has its own --help)",
+        "'repro-fqms sweep' runs batches with live fleet progress, and "
+        "'repro-fqms serve|submit|status|results' is the fair-queued "
+        "experiment service (each has its own --help)",
     )
     parser.add_argument(
         "experiment",
@@ -240,6 +257,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache",
         action="store_true",
         help="disable the persistent result cache for this invocation",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="ROOT",
+        default=None,
+        help="serve-service root whose result store figures/compare read "
+        "through and record into (the directory 'repro-fqms serve --root' "
+        "and 'repro-fqms results --root' use); runs already in the store "
+        "are served from it, fresh runs become queryable",
     )
     parser.add_argument(
         "--check",
@@ -341,6 +367,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # And once more for the engine-internals metrics registry.
         os.environ["REPRO_OBS"] = "1"
     configure_cache(cache_dir=args.cache_dir, enabled=not args.no_cache)
+    store = None
+    if args.store:
+        from pathlib import Path
+
+        from .serve.store import ResultStore
+
+        # Same layout the serve family uses: manifests + index live
+        # under <root>/store, so 'repro-fqms results --root <ROOT>'
+        # queries whatever the figures just recorded.
+        store = ResultStore(Path(args.store) / "store")
 
     targets = FIGURES + ("ablations",) if args.experiment == "all" else (args.experiment,)
     json_payloads = []
@@ -366,13 +402,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cycles=args.cycles,
                 seed=args.seed,
                 jobs=args.jobs,
+                store=store,
             )
             body = render_fairness(outcomes)
             payload = fairness_payload(outcomes)
             payload["figure"] = "compare"
             json_payloads.append(payload)
         else:
-            result = _run_figure(target, args.cycles, args.seed, jobs=args.jobs)
+            result = _run_figure(
+                target, args.cycles, args.seed, jobs=args.jobs, store=store
+            )
             body = result.render()
             json_payloads.append(_figure_json(target, result))
         elapsed = time.time() - started  # det: allow(wall-clock)

@@ -153,6 +153,33 @@ ENV_VARS = (
         description="Directory for per-run schema-validated manifests "
         "written by the runner and sweep workers.",
     ),
+    EnvVar(
+        "REPRO_SERVE",
+        fingerprint_relevant=False,
+        description="Root directory of the repro.serve experiment "
+        "service (socket address file, result store, manifests); "
+        "placement only, never a simulation input.",
+    ),
+    EnvVar(
+        "REPRO_SERVE_WORKERS",
+        fingerprint_relevant=False,
+        description="Concurrent worker processes of the experiment "
+        "service job pool; results are bit-identical at any count.",
+    ),
+    EnvVar(
+        "REPRO_SERVE_RETRIES",
+        fingerprint_relevant=False,
+        description="Resubmission budget for jobs whose worker crashed "
+        "or timed out (run_many and the serve scheduler share it); a "
+        "retried run recomputes the identical result.",
+    ),
+    EnvVar(
+        "REPRO_SERVE_TIMEOUT",
+        fingerprint_relevant=False,
+        description="Per-job wall-clock timeout in seconds for the "
+        "experiment service's workers; a timed-out job is retried, "
+        "never partially recorded.",
+    ),
 )
 
 _DECLARED = {var.name: var for var in ENV_VARS}
@@ -221,6 +248,18 @@ def positive_int(name: str, default: int) -> int:
     if not value:
         return default
     parsed = int(value)
+    if parsed <= 0:
+        raise ValueError(f"{name} must be positive, got {parsed}")
+    return parsed
+
+
+def positive_float(name: str, default: float) -> float:
+    """A positive-float knob (timeouts): unset/empty means ``default``."""
+    declared(name)
+    value = os.environ.get(name, "").strip()
+    if not value:
+        return default
+    parsed = float(value)
     if parsed <= 0:
         raise ValueError(f"{name} must be positive, got {parsed}")
     return parsed

@@ -79,6 +79,7 @@ def run_fairness(
     cycles: int = DEFAULT_CYCLES,
     seed: int = 0,
     jobs: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> List[FairnessOutcome]:
     """Measure every policy on every workload; return the full matrix.
 
@@ -87,6 +88,11 @@ def run_fairness(
     thread owning the memory system) and are shared across policies.
     The whole matrix is batched through :func:`run_many`, so
     ``jobs > 1`` parallelizes the misses and reruns are cache hits.
+
+    ``store`` (a :class:`repro.serve.store.ResultStore`) makes the
+    tournament read through — and record into — the queryable result
+    store, so a comparison backed by a populated service root costs no
+    simulation at all and leaves its own runs queryable afterwards.
     """
     if policies is None:
         policies = registered_names()
@@ -100,7 +106,7 @@ def run_fairness(
     for workload in workloads:
         for policy in policies:
             specs.append(group_spec(workload, policy, cycles, warmup, seed))
-    run_many(specs, jobs=jobs)
+    run_many(specs, jobs=jobs, store=store)
 
     alone_ipc: Dict[str, float] = {
         name: run_solo(profile(name), scale=1.0, cycles=cycles, seed=seed)

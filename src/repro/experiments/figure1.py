@@ -50,7 +50,10 @@ class Figure1Result:
 
 
 def run_figure1(
-    cycles: int = DEFAULT_CYCLES, seed: int = 0, jobs: Optional[int] = None
+    cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> Figure1Result:
     """Regenerate Figure 1 (FR-FCFS scheduling throughout)."""
     vpr = profile("vpr")
@@ -62,6 +65,7 @@ def run_figure1(
             for partner in ("crafty", "art")
         ],
         jobs=jobs,
+        store=store,
     )
     rows: List[Figure1Row] = []
 

@@ -49,13 +49,17 @@ class Figure4Result:
 
 
 def run_figure4(
-    cycles: int = DEFAULT_CYCLES, seed: int = 0, jobs: Optional[int] = None
+    cycles: int = DEFAULT_CYCLES,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> Figure4Result:
     """Regenerate Figure 4: solo runs of the twenty benchmarks."""
     warmup = default_warmup(cycles)
     run_many(
         [solo_spec(b.name, 1.0, cycles, warmup, seed) for b in BENCHMARKS],
         jobs=jobs,
+        store=store,
     )
     rows: List[Figure4Row] = []
     for benchmark in BENCHMARKS:

@@ -95,12 +95,13 @@ def run_figure9(
     seed: int = 0,
     outcomes: Optional[List[QuadOutcome]] = None,
     jobs: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> Figure9Result:
     """Regenerate Figure 9 from (possibly shared) quad runs."""
     if cycles is None:
         cycles = DEFAULT_CYCLES
     if outcomes is None:
-        outcomes = run_quads(cycles=cycles, seed=seed, jobs=jobs)
+        outcomes = run_quads(cycles=cycles, seed=seed, jobs=jobs, store=store)
     # Solo reference runs (unscaled, as for Figure 4) provide each
     # thread's solo latency and solo utilization.
     warmup = default_warmup(cycles)
@@ -112,6 +113,7 @@ def run_figure9(
             )
         ],
         jobs=jobs,
+        store=store,
     )
     solo_latency: Dict[str, float] = {}
     solo_util: Dict[str, float] = {}

@@ -50,6 +50,7 @@ def run_pairs(
     cycles: int = DEFAULT_CYCLES,
     seed: int = 0,
     jobs: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> List[PairOutcome]:
     """All 19 subject workloads under each policy (memoized underneath).
 
@@ -67,7 +68,7 @@ def run_pairs(
                     (subject.name, background.name), policy, cycles, warmup, seed
                 )
             )
-    run_many(specs, jobs=jobs)
+    run_many(specs, jobs=jobs, store=store)
 
     outcomes: List[PairOutcome] = []
     background_base = run_solo(BACKGROUND, scale=2.0, cycles=cycles, seed=seed)

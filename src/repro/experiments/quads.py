@@ -47,6 +47,7 @@ def run_quads(
     cycles: int = DEFAULT_CYCLES,
     seed: int = 0,
     jobs: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> List[QuadOutcome]:
     """The paper's four 4-thread workloads under each policy.
 
@@ -64,7 +65,7 @@ def run_quads(
                     tuple(b.name for b in workload), policy, cycles, warmup, seed
                 )
             )
-    run_many(specs, jobs=jobs)
+    run_many(specs, jobs=jobs, store=store)
 
     outcomes: List[QuadOutcome] = []
     for index, workload in enumerate(four_proc_workloads()):

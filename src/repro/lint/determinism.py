@@ -79,6 +79,18 @@ OBS_BANNED_MODULES = {"time", "datetime", "random"}
 #: Path component marking a file as part of the obs package.
 OBS_PACKAGE = "obs"
 
+#: Modules the serve package may not import at all (DET009): the
+#: experiment service schedules and times out *jobs*, never
+#: simulations — wall-clock access is confined to the single
+#: registered clock module (``repro/serve/clock.py``, which carries
+#: the one reasoned suppression), and randomness is banned outright
+#: (retry backoff is deliberately jitter-free, and the fair scheduler
+#: must dispatch deterministically given submission order).
+SERVE_BANNED_MODULES = {"time", "datetime", "random"}
+
+#: Path component marking a file as part of the serve package.
+SERVE_PACKAGE = "serve"
+
 _CACHE_KEY = "determinism.findings"
 
 
@@ -146,6 +158,7 @@ class _HazardVisitor(ast.NodeVisitor):
         self.in_telemetry = TELEMETRY_PACKAGE in path.parts
         self.in_policy = POLICY_PACKAGE in path.parts
         self.in_obs = OBS_PACKAGE in path.parts
+        self.in_serve = SERVE_PACKAGE in path.parts
         self.findings: List[Finding] = []
         #: Comprehension generators consumed by an order-insensitive
         #: reducer (``min(x for x in s)`` and ``min({...})`` shapes).
@@ -239,6 +252,19 @@ class _HazardVisitor(ast.NodeVisitor):
                 "outright",
             )
 
+    def _check_serve_import(self, node: ast.AST, module: str) -> None:
+        root = module.split(".", 1)[0]
+        if root in SERVE_BANNED_MODULES:
+            self._emit(
+                node,
+                "DET009",
+                f"import of '{module}' inside the serve package; the "
+                "experiment service must schedule deterministically — "
+                "wall-clock access is confined to repro/serve/clock.py "
+                "(the registered clock module), randomness is banned "
+                "outright",
+            )
+
     def visit_Import(self, node: ast.Import) -> None:
         if self.in_telemetry:
             for alias in node.names:
@@ -249,6 +275,9 @@ class _HazardVisitor(ast.NodeVisitor):
         if self.in_obs:
             for alias in node.names:
                 self._check_obs_import(node, alias.name)
+        if self.in_serve:
+            for alias in node.names:
+                self._check_serve_import(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -258,6 +287,8 @@ class _HazardVisitor(ast.NodeVisitor):
             self._check_policy_import(node, node.module)
         if self.in_obs and node.module is not None and node.level == 0:
             self._check_obs_import(node, node.module)
+        if self.in_serve and node.module is not None and node.level == 0:
+            self._check_serve_import(node, node.module)
         if node.module == "random":
             imported = {alias.name for alias in node.names}
             bad = sorted(imported & GLOBAL_RANDOM_FUNCS)
@@ -430,10 +461,17 @@ class ObsImportPass(_DeterminismPass):
     title = "time/RNG imports inside the obs package"
 
 
+@register
+class ServeImportPass(_DeterminismPass):
+    rule = "DET009"
+    title = "time/RNG imports inside the serve package"
+
+
 #: Rule ids this module provides, in catalog order (used by the shim).
-#: DET008 is deliberately absent: the shim's golden corpus predates the
-#: obs package, and the standalone tool keeps its pinned DET001–DET007
-#: surface; the framework registry carries DET008.
+#: DET008/DET009 are deliberately absent: the shim's golden corpus
+#: predates the obs and serve packages, and the standalone tool keeps
+#: its pinned DET001–DET007 surface; the framework registry carries
+#: DET008 and DET009.
 DET_RULES = (
     "DET001", "DET002", "DET003", "DET004", "DET005", "DET006", "DET007",
 )

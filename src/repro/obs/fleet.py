@@ -34,8 +34,10 @@ from ..stats.report import sparkline
 #: Seconds between worker heartbeat samples.
 HEARTBEAT_INTERVAL_S = 0.2
 
-#: States a run can report; ``lost`` is synthesized by the monitor.
-RUN_STATES = ("queued", "running", "done", "cached", "error", "lost")
+#: States a run can report; ``lost`` is synthesized by the monitor and
+#: ``retried`` marks a crash-orphaned run awaiting resubmission (the
+#: retry loop in :mod:`repro.sim.parallel` and the serve scheduler).
+RUN_STATES = ("queued", "running", "retried", "done", "cached", "error", "lost")
 
 #: States that end a run's stream.
 TERMINAL_STATES = ("done", "cached", "error", "lost")
@@ -116,7 +118,7 @@ class WorkerHeartbeat:
 class RunProgress:
     """Dashboard state for one run: latest sample plus cycle history."""
 
-    __slots__ = ("run_id", "state", "cycle", "total", "history")
+    __slots__ = ("run_id", "state", "cycle", "total", "history", "retries")
 
     def __init__(self, run_id: str):
         self.run_id = run_id
@@ -124,6 +126,8 @@ class RunProgress:
         self.cycle = 0
         self.total = 0
         self.history: List[float] = []
+        #: Crash resubmissions observed for this run (``retried`` events).
+        self.retries = 0
 
     @property
     def fraction(self) -> float:
@@ -159,6 +163,8 @@ class FleetState:
         progress = self.expect(run_id)
         if progress.terminal:
             return  # late heartbeat from an already-finished run
+        if state == "retried":
+            progress.retries += 1
         progress.state = state
         cycle = event.get("cycle")
         total = event.get("total")

@@ -277,18 +277,34 @@ def run_manifest(
     result: Any,
     source: str = "fresh",
     obs: Optional[Any] = None,
+    attempts: int = 0,
+    tenant: Optional[str] = None,
+    spec_payload: Optional[Dict[str, Any]] = None,
+    embed_result: bool = False,
 ) -> Dict[str, Any]:
     """The manifest payload for one finished simulation run.
 
     ``source`` labels how the result was obtained (``fresh``, ``memo``,
-    ``disk``); ``obs`` (a :class:`~repro.obs.RunObs`) contributes the
-    engine-internals metrics when the run carried one.
+    ``disk``, ``cache``, ``store``); ``obs`` (a :class:`~repro.obs.RunObs`)
+    contributes the engine-internals metrics when the run carried one.
+
+    The serve-store extensions are all optional and additive:
+    ``attempts`` counts crash resubmissions the run survived (surfacing
+    ``retried`` jobs in the durable record), ``tenant`` labels the
+    submitting tenant, ``spec_payload`` preserves the declarative
+    :class:`~repro.sim.parallel.RunSpec` fields, and ``embed_result``
+    inlines the full cache-canonical result JSON so the document alone
+    can reconstitute a ``SimResult`` (what makes the result store
+    *queryable* rather than digest-only).
     """
     metrics: Dict[str, float] = {}
     labels: Dict[str, str] = {"run.source": str(source)}
+    if tenant is not None:
+        labels["run.tenant"] = str(tenant)
     if obs is not None:
         metrics.update(obs.registry.metrics())
         labels.update(obs.registry.labels())
+    metrics["run.attempts"] = float(attempts)
     metrics["result.cycles"] = float(result.cycles)
     for i, thread in enumerate(result.threads):
         metrics[f"thread.{i}.ipc"] = thread.ipc
@@ -302,16 +318,21 @@ def run_manifest(
         metrics["result_cache.hits"] = float(disk.hits)
         metrics["result_cache.misses"] = float(disk.misses)
         metrics["result_cache.stores"] = float(disk.stores)
-    return new_manifest(
-        "run",
-        metrics=metrics,
-        labels=labels,
-        fingerprint=fingerprint,
-        policy=policy,
-        workload=list(workload),
-        window={"cycles": int(cycles), "warmup": int(warmup), "seed": int(seed)},
-        result={"digest": result_digest(result)},
-    )
+    result_field: Dict[str, Any] = {"digest": result_digest(result)}
+    if embed_result:
+        from ..sim.cache import result_to_json  # lazy: avoids import cycle
+
+        result_field["payload"] = result_to_json(result)
+    fields: Dict[str, Any] = {
+        "fingerprint": fingerprint,
+        "policy": policy,
+        "workload": list(workload),
+        "window": {"cycles": int(cycles), "warmup": int(warmup), "seed": int(seed)},
+        "result": result_field,
+    }
+    if spec_payload is not None:
+        fields["spec"] = dict(spec_payload)
+    return new_manifest("run", metrics=metrics, labels=labels, **fields)
 
 
 def emit_run_manifest(

@@ -202,6 +202,14 @@ def main(argv: Sequence[str]) -> int:
             manager.shutdown()
     for run_id in lost:
         print(f"sweep: run {run_id} was lost (worker died mid-run)")
+    if monitor is not None:
+        for run_id in sorted(monitor.state.runs):
+            retries = monitor.state.runs[run_id].retries
+            if retries:
+                print(
+                    f"sweep: run {run_id} was retried {retries}x "
+                    "(crashed worker resubmitted)"
+                )
 
     if args.manifest_dir:
         _backfill_manifests(args.manifest_dir, specs, results)

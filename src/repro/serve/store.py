@@ -1,0 +1,347 @@
+"""The queryable result store: durable manifests plus an index.
+
+``run_many`` and the figure drivers historically left results in two
+places results go to be forgotten: an in-process memo and a
+content-addressed disk cache keyed by opaque fingerprints.  The store
+is the third, *queryable* layer: an append-only directory of
+``repro.obs/1`` run manifests (one per distinct run, fingerprint-named,
+each embedding the declarative spec and the full cache-canonical
+result payload) plus a line-oriented index for cheap filtering.
+
+Layout under ``root``::
+
+    runs/run-<fp16>.json   # schema-validated manifests (atomic writes)
+    index.jsonl            # one JSON line per recorded run
+
+The index is a pure acceleration structure: :meth:`ResultStore.rebuild`
+regenerates it from the manifests alone, and a corrupted or truncated
+line (or manifest) is tolerated — skipped, counted, and reported via
+:attr:`ResultStore.problems` — never fatal.  Records are idempotent by
+fingerprint, so resubmitting a sweep converges instead of accumulating.
+
+The store plugs into ``run_many(store=...)`` through the two-method
+duck type it defined: :meth:`get_result` (cache layer 3) and
+:meth:`record` (write-back).  The fairness tournament and the figure
+drivers pass a store through, so every evaluation run lands in one
+queryable place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..obs.manifest import ManifestError, emit_run_manifest, load_manifest
+from ..sim.cache import result_from_json
+from ..sim.parallel import RunSpec
+from ..sim.system import SimResult
+from .spec import spec_payload
+
+#: Subdirectory holding the per-run manifests.
+RUNS_DIR = "runs"
+
+#: The index file name under the store root.
+INDEX_NAME = "index.jsonl"
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One indexed run: the filterable fields plus the manifest path."""
+
+    fingerprint: str
+    file: str
+    policy: str
+    workload: Tuple[str, ...]
+    cycles: int
+    warmup: int
+    seed: int
+    shares: Optional[Tuple[float, ...]]
+    source: str
+    tenant: Optional[str]
+    attempts: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "file": self.file,
+            "policy": self.policy,
+            "workload": list(self.workload),
+            "cycles": self.cycles,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "shares": list(self.shares) if self.shares is not None else None,
+            "source": self.source,
+            "tenant": self.tenant,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "StoreEntry":
+        shares = payload.get("shares")
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            file=str(payload["file"]),
+            policy=str(payload["policy"]),
+            workload=tuple(str(n) for n in payload["workload"]),
+            cycles=int(payload["cycles"]),
+            warmup=int(payload["warmup"]),
+            seed=int(payload["seed"]),
+            shares=tuple(float(s) for s in shares) if shares is not None else None,
+            source=str(payload.get("source", "fresh")),
+            tenant=payload.get("tenant"),
+            attempts=int(payload.get("attempts", 0)),
+        )
+
+
+class ResultStore:
+    """Append-only manifest store with an index and filter/aggregate queries."""
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = Path(root).expanduser()
+        self.runs_dir = self.root / RUNS_DIR
+        self.index_path = self.root / INDEX_NAME
+        self._entries: Dict[str, StoreEntry] = {}
+        #: Human-readable notes about tolerated damage (corrupt index
+        #: lines, unreadable manifests); surfaced by status/results.
+        self.problems: List[str] = []
+        self._load_index()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- loading -----------------------------------------------------------
+
+    def _load_index(self) -> None:
+        try:
+            lines = self.index_path.read_text().splitlines()
+        except OSError:
+            return
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = StoreEntry.from_json(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                self.problems.append(
+                    f"{self.index_path.name}:{number}: corrupt index line skipped"
+                )
+                continue
+            self._entries[entry.fingerprint] = entry
+
+    def rebuild(self) -> int:
+        """Regenerate the index from the manifests; returns the run count.
+
+        The recovery path for a lost or damaged index: every readable
+        manifest under ``runs/`` becomes an entry, unreadable ones are
+        reported in :attr:`problems`, and the index file is rewritten
+        atomically.
+        """
+        self._entries = {}
+        self.problems = []
+        if self.runs_dir.is_dir():
+            for path in sorted(self.runs_dir.glob("run-*.json")):
+                try:
+                    manifest = load_manifest(path)
+                    entry = self._entry_from_manifest(path.name, manifest)
+                except (OSError, ValueError, KeyError, TypeError) as exc:
+                    self.problems.append(
+                        f"{RUNS_DIR}/{path.name}: unreadable manifest "
+                        f"skipped ({type(exc).__name__})"
+                    )
+                    continue
+                self._entries[entry.fingerprint] = entry
+        self._rewrite_index()
+        return len(self._entries)
+
+    def _entry_from_manifest(
+        self, file_name: str, manifest: Dict[str, Any]
+    ) -> StoreEntry:
+        window = manifest["window"]
+        spec_block = manifest.get("spec") or {}
+        shares = spec_block.get("shares")
+        labels = manifest.get("labels", {})
+        attempts = manifest.get("metrics", {}).get("run.attempts", 0)
+        return StoreEntry(
+            fingerprint=manifest["fingerprint"],
+            file=file_name,
+            policy=manifest["policy"],
+            workload=tuple(manifest["workload"]),
+            cycles=int(window["cycles"]),
+            warmup=int(window["warmup"]),
+            seed=int(window["seed"]),
+            shares=tuple(float(s) for s in shares) if shares is not None else None,
+            source=str(labels.get("run.source", "fresh")),
+            tenant=labels.get("run.tenant"),
+            attempts=int(attempts),
+        )
+
+    def _rewrite_index(self) -> None:
+        blob = "".join(
+            json.dumps(self._entries[fp].to_json(), sort_keys=True) + "\n"
+            for fp in sorted(self._entries)
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.index_path.with_suffix(".jsonl.tmp")
+        tmp.write_text(blob)
+        os.replace(tmp, self.index_path)
+
+    # -- the run_many duck type -------------------------------------------
+
+    def get_result(self, spec: RunSpec) -> Optional[SimResult]:
+        """The stored result for ``spec``, or None (damage counts as miss)."""
+        entry = self._entries.get(spec.fingerprint())
+        if entry is None:
+            return None
+        path = self.runs_dir / entry.file
+        try:
+            manifest = load_manifest(path)
+            payload = manifest["result"]["payload"]
+            return result_from_json(payload)
+        except (OSError, ManifestError, ValueError, KeyError, TypeError) as exc:
+            self.problems.append(
+                f"{RUNS_DIR}/{entry.file}: result unreadable "
+                f"({type(exc).__name__}); treated as a miss"
+            )
+            return None
+
+    def record(
+        self,
+        spec: RunSpec,
+        result: SimResult,
+        source: str = "fresh",
+        tenant: Optional[str] = None,
+        attempts: int = 0,
+    ) -> Optional[StoreEntry]:
+        """Persist one run (idempotent by fingerprint); returns its entry.
+
+        Best-effort on I/O failure (an unwritable store degrades to "no
+        store", never kills a sweep); a manifest that fails validation
+        is a programming error and raises.
+        """
+        fingerprint = spec.fingerprint()
+        existing = self._entries.get(fingerprint)
+        if existing is not None:
+            return existing
+        try:
+            path = emit_run_manifest(
+                self.runs_dir,
+                fingerprint=fingerprint,
+                policy=spec.policy,
+                workload=spec.names,
+                cycles=spec.cycles,
+                warmup=spec.warmup,
+                seed=spec.seed,
+                result=result,
+                source=source,
+                attempts=attempts,
+                tenant=tenant,
+                spec_payload=spec_payload(spec),
+                embed_result=True,
+            )
+        except OSError as exc:
+            self.problems.append(
+                f"store write failed for {fingerprint[:16]} "
+                f"({type(exc).__name__}); run not recorded"
+            )
+            return None
+        entry = StoreEntry(
+            fingerprint=fingerprint,
+            file=path.name,
+            policy=spec.policy,
+            workload=spec.names,
+            cycles=spec.cycles,
+            warmup=spec.warmup,
+            seed=spec.seed,
+            shares=spec.shares,
+            source=source,
+            tenant=tenant,
+            attempts=attempts,
+        )
+        self._entries[fingerprint] = entry
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.index_path, "a") as handle:
+                handle.write(json.dumps(entry.to_json(), sort_keys=True) + "\n")
+        except OSError:
+            self.problems.append(
+                f"index append failed for {fingerprint[:16]}; "
+                "run rebuild() to restore the index"
+            )
+        return entry
+
+    # -- queries -----------------------------------------------------------
+
+    def entries(self) -> List[StoreEntry]:
+        """Every indexed run, fingerprint-sorted (the deterministic order)."""
+        return [self._entries[fp] for fp in sorted(self._entries)]
+
+    def query(
+        self,
+        policy: Optional[str] = None,
+        workload: Optional[Sequence[str]] = None,
+        shares: Optional[Sequence[float]] = None,
+        seed: Optional[int] = None,
+        source: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> List[StoreEntry]:
+        """Indexed runs matching every given filter, fingerprint-sorted."""
+        want_workload = tuple(workload) if workload is not None else None
+        want_shares = (
+            tuple(float(s) for s in shares) if shares is not None else None
+        )
+        out = []
+        for entry in self.entries():
+            if policy is not None and entry.policy != policy:
+                continue
+            if want_workload is not None and entry.workload != want_workload:
+                continue
+            if want_shares is not None and entry.shares != want_shares:
+                continue
+            if seed is not None and entry.seed != seed:
+                continue
+            if source is not None and entry.source != source:
+                continue
+            if tenant is not None and entry.tenant != tenant:
+                continue
+            out.append(entry)
+        return out
+
+    def metrics(self, entry: StoreEntry) -> Dict[str, float]:
+        """The flat metric table of one entry's manifest ({} on damage)."""
+        try:
+            manifest = load_manifest(self.runs_dir / entry.file)
+            return dict(manifest.get("metrics", {}))
+        except (OSError, ManifestError, ValueError) as exc:
+            self.problems.append(
+                f"{RUNS_DIR}/{entry.file}: metrics unreadable "
+                f"({type(exc).__name__})"
+            )
+            return {}
+
+    def aggregate(
+        self,
+        metric: str,
+        by: str = "policy",
+        **filters: Any,
+    ) -> Dict[str, float]:
+        """Mean of ``metric`` over matching runs, grouped by a field.
+
+        ``by`` names a :class:`StoreEntry` field (``policy``,
+        ``workload``, ``seed``, ``tenant``, ``source``); runs whose
+        manifests lack the metric are skipped.  Group keys are strings
+        (workload mixes render as ``a+b``) and the result is key-sorted.
+        """
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for entry in self.query(**filters):
+            value = self.metrics(entry).get(metric)
+            if value is None:
+                continue
+            field = getattr(entry, by)
+            key = "+".join(field) if isinstance(field, tuple) else str(field)
+            sums[key] = sums.get(key, 0.0) + float(value)
+            counts[key] = counts.get(key, 0) + 1
+        return {key: sums[key] / counts[key] for key in sorted(sums)}

@@ -1,0 +1,108 @@
+"""Shared worker-crash detection and retry/backoff policy.
+
+Both batch front-ends — :func:`repro.sim.parallel.run_many`'s process
+pool and the :mod:`repro.serve` job scheduler — hand simulation work to
+worker processes that can die underneath them: OOM kills, segfaulting
+native extensions, operators reaping strays, deliberate chaos tests.
+A crashed worker must never silently swallow a run (PR 9 only *marked*
+such runs ``lost``); it must be detected, resubmitted up to a bounded
+budget with backoff, and surfaced as ``retried``/``lost`` either way.
+
+This module is the one place that policy lives:
+
+* :func:`is_worker_crash` classifies an exception as "the worker died"
+  (as opposed to "the simulation raised", which is a real error and
+  must propagate — retrying deterministic code on a deterministic
+  exception would loop forever on a genuine bug).
+* :class:`RetryPolicy` carries the resubmission budget
+  (``REPRO_SERVE_RETRIES``) and computes deterministic exponential
+  backoff delays.  Delays are *computed* here and *slept* by the
+  caller, so this module stays free of wall-clock access and the
+  policy is unit-testable without waiting.
+
+Results are unaffected by contract: a retried job recomputes the
+identical bit-identical result, so retry counts never enter cache
+fingerprints or result payloads.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+
+from .. import env
+
+#: Environment knob naming the shared resubmission budget.
+RETRIES_ENV_VAR = "REPRO_SERVE_RETRIES"
+
+#: Default resubmissions of a crashed/timed-out job before ``lost``.
+DEFAULT_RETRIES = 2
+
+#: First backoff delay; doubles per attempt up to the cap.
+DEFAULT_BASE_DELAY_S = 0.1
+DEFAULT_MAX_DELAY_S = 5.0
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (or timed out) before reporting a result.
+
+    Raised by executors that manage their own child processes (the
+    serve job pool); the stdlib process pool signals the same condition
+    with :class:`BrokenExecutor`.  Both classify as retryable.
+    """
+
+
+def is_worker_crash(exc: BaseException) -> bool:
+    """True when ``exc`` means "the worker died", not "the code raised".
+
+    ``BrokenExecutor`` (and its ``BrokenProcessPool`` subclass) is the
+    stdlib pool's worker-death signal; :class:`WorkerCrashError` is the
+    serve pool's.  Anything else — including errors raised *by* the
+    simulation — is deterministic and must not be retried.
+    """
+    return isinstance(exc, (BrokenExecutor, WorkerCrashError))
+
+
+def default_retries() -> int:
+    """The configured resubmission budget (``REPRO_SERVE_RETRIES``)."""
+    return env.positive_int(RETRIES_ENV_VAR, DEFAULT_RETRIES)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded resubmission with deterministic exponential backoff.
+
+    ``retries`` is the number of *re*-submissions after the first
+    attempt: a job is tried at most ``retries + 1`` times.  Backoff is
+    jitter-free on purpose — the consumers are a single parent process
+    resubmitting to its own pool, where jitter buys nothing and
+    determinism keeps tests exact.
+    """
+
+    retries: int
+    base_delay_s: float = DEFAULT_BASE_DELAY_S
+    max_delay_s: float = DEFAULT_MAX_DELAY_S
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        return cls(retries=default_retries())
+
+    def should_retry(self, attempts: int) -> bool:
+        """May a job that has already run ``attempts`` times run again?"""
+        return attempts <= self.retries
+
+    def delay_s(self, attempts: int) -> float:
+        """Backoff before resubmission number ``attempts`` (1-based).
+
+        ``delay_s(1)`` is the base delay, doubling per attempt and
+        saturating at ``max_delay_s``.
+        """
+        if attempts <= 0:
+            return 0.0
+        return min(self.base_delay_s * (2.0 ** (attempts - 1)), self.max_delay_s)

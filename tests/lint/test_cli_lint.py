@@ -37,7 +37,7 @@ class TestExitCodes:
         (tmp_path / "ok.py").write_text(CLEAN_SOURCE)
         proc = run_cli(str(tmp_path))
         assert proc.returncode == 0, proc.stderr
-        assert proc.stdout.startswith("lint: clean (1 files, 13 rules")
+        assert proc.stdout.startswith("lint: clean (1 files, 14 rules")
 
     def test_findings_exit_one(self, tmp_path):
         (tmp_path / "dirty.py").write_text(DIRTY_SOURCE)
@@ -90,9 +90,10 @@ class TestFormatsAndOptions:
         proc = run_cli("--list-rules")
         assert proc.returncode == 0
         lines = proc.stdout.strip().splitlines()
-        assert len(lines) == 13
+        assert len(lines) == 14
         assert any(line.startswith("FPR100") for line in lines)
         assert any(line.startswith("DET001") for line in lines)
+        assert any(line.startswith("DET009") for line in lines)
 
     def test_json_format(self, tmp_path):
         (tmp_path / "dirty.py").write_text(DIRTY_SOURCE)

@@ -17,7 +17,7 @@ from repro.lint.registry import resolve
 
 ALL_RULES = (
     "DET001", "DET002", "DET003", "DET004", "DET005", "DET006", "DET007",
-    "DET008", "ENV200", "FPR100", "HOT500", "POL300", "WAKE400",
+    "DET008", "DET009", "ENV200", "FPR100", "HOT500", "POL300", "WAKE400",
 )
 
 

@@ -1,0 +1,120 @@
+"""DET009: the serve package must schedule deterministically.
+
+Wall-clock and RNG imports are banned anywhere under a ``serve``
+package directory, with exactly one sanctioned escape hatch: an
+explicit ``lint: allow(DET009, ...)`` suppression, which the real tree
+uses once — ``repro/serve/clock.py``, the registered clock module.
+The suite also pins the real tree's closure: the serve package is
+covered by both DET009 and the ENV200 env-knob audit, and its four
+``REPRO_SERVE*`` knobs are declared in the registry.
+"""
+
+from pathlib import Path
+
+from repro import env
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SERVE_KNOBS = (
+    "REPRO_SERVE",
+    "REPRO_SERVE_WORKERS",
+    "REPRO_SERVE_RETRIES",
+    "REPRO_SERVE_TIMEOUT",
+)
+
+
+class TestServeImports:
+    def test_time_import_in_serve_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "repro/serve/service.py": """
+                import time
+            """,
+        })
+        findings = run_rule("DET009", project)
+        assert len(findings) == 1
+        assert findings[0].rule == "DET009"
+        assert "'time'" in findings[0].message
+        assert "clock.py" in findings[0].message
+
+    def test_from_import_in_serve_is_flagged(self, project_of, run_rule):
+        project = project_of({
+            "repro/serve/queue.py": """
+                from time import monotonic
+            """,
+        })
+        assert len(run_rule("DET009", project)) == 1
+
+    def test_random_and_datetime_are_banned(self, project_of, run_rule):
+        project = project_of({
+            "repro/serve/store.py": """
+                import random
+                import datetime
+            """,
+        })
+        assert len(run_rule("DET009", project)) == 2
+
+    def test_outside_serve_is_not_det009(self, project_of, run_rule):
+        project = project_of({
+            "repro/obs/phases.py": """
+                import time
+            """,
+        })
+        assert run_rule("DET009", project) == []
+
+    def test_clean_serve_module_passes(self, project_of, run_rule):
+        project = project_of({
+            "repro/serve/spec.py": """
+                import asyncio
+                import json
+            """,
+        })
+        assert run_rule("DET009", project) == []
+
+
+class TestSuppression:
+    def test_registered_clock_module_suppression_is_honored(self, tmp_path):
+        serve = tmp_path / "repro" / "serve"
+        serve.mkdir(parents=True)
+        (serve / "clock.py").write_text(
+            "import time"
+            "  # lint: allow(DET009, registered serve clock module)\n"
+        )
+        report = run_lint([tmp_path], rules=["DET009"], root=tmp_path)
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["DET009"]
+
+
+class TestRealTreeClosure:
+    """The shipped serve package satisfies its own contracts."""
+
+    def test_serve_package_is_det009_clean(self):
+        serve_dir = REPO_ROOT / "src" / "repro" / "serve"
+        report = run_lint([serve_dir], rules=["DET009"], root=REPO_ROOT)
+        assert report.findings == [], "\n".join(
+            str(f) for f in report.findings
+        )
+        # The one reasoned exception: clock.py's suppressed import.
+        assert [f.rule for f in report.suppressed] == ["DET009"]
+        assert all("clock.py" in str(f.path) for f in report.suppressed)
+
+    def test_serve_package_is_env200_clean(self):
+        serve_dir = REPO_ROOT / "src" / "repro" / "serve"
+        report = run_lint([serve_dir], rules=["ENV200"], root=REPO_ROOT)
+        assert report.findings == [], "\n".join(
+            str(f) for f in report.findings
+        )
+        assert report.files_checked >= 7
+
+    def test_serve_knobs_are_declared_semantics_free(self):
+        for name in SERVE_KNOBS:
+            var = env.declared(name)
+            assert var.fingerprint_relevant is False, (
+                f"{name} must be semantics-free: the service never "
+                "changes simulation results"
+            )
+
+    def test_serve_knobs_are_documented(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for name in SERVE_KNOBS:
+            assert name in readme, f"{name} missing from the README env table"

@@ -1,0 +1,190 @@
+"""CI smoke for the serve family: sweep, chaos kill, cache, query.
+
+Drives a *real* ``repro-fqms serve`` process end to end, the way the
+unit tests cannot (they inject executors; this script exercises the
+foreground CLI, the unix/TCP protocol, and genuine worker
+subprocesses):
+
+1. start the service in the foreground (a child process of this
+   script), wait for ``<root>/serve.addr``;
+2. submit a 24-run grid (2 mixes x 2 policies x 3 seeds x 2 phi
+   vectors) over the protocol;
+3. while the sweep runs, SIGKILL one worker pid taken from ``status``
+   — the chaos probe; the service must classify the death as a crash
+   and resubmit within its retry budget;
+4. wait for drain and assert done=24, lost=0, retried>=1;
+5. snapshot the offline ``results`` rendering, resubmit the identical
+   grid, and require 100% cache-served (0 queued) plus a
+   byte-identical ``results`` snapshot — the durable store must be
+   exactly as queryable after the no-op resubmission;
+6. shut the service down over the protocol and require a clean exit.
+
+Exit code 0 means every assertion held.  Run from the repository root:
+
+    PYTHONPATH=src python tools/serve_smoke.py --root /tmp/serve-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.serve.protocol import read_address, request
+from repro.serve.spec import SweepSpec
+
+#: 2 mixes x 2 policies x 3 seeds x 2 phi vectors = 24 distinct runs.
+def sweep_payload(cycles: int) -> Dict:
+    return SweepSpec(
+        workloads=(("vpr", "art"), ("gzip", "twolf")),
+        policies=("FR-FCFS", "FQ-VFTF"),
+        cycles=cycles,
+        warmup=cycles // 4,
+        seeds=(0, 1, 2),
+        share_vectors=(None, (2.0, 1.0)),
+    ).to_payload()
+
+
+def wait_for_address(root: str, timeout_s: float = 30.0) -> str:
+    deadline = time.monotonic() + timeout_s  # lint: allow(DET002, smoke-harness deadline, not simulation state)
+    while time.monotonic() < deadline:  # lint: allow(DET002, smoke-harness deadline, not simulation state)
+        try:
+            return read_address(root)
+        except (OSError, ValueError):
+            time.sleep(0.05)
+    raise SystemExit(f"smoke: no service address under {root!r} "
+                     f"after {timeout_s:g}s")
+
+
+def status(root: str) -> Dict:
+    return request(root, {"op": "status"})["status"]
+
+
+def kill_one_worker(root: str, timeout_s: float = 60.0) -> int:
+    """SIGKILL the first live worker pid ``status`` reports.
+
+    A pid can exit between the status snapshot and the kill; on
+    ``ProcessLookupError`` the next snapshot supplies a fresh target.
+    """
+    deadline = time.monotonic() + timeout_s  # lint: allow(DET002, smoke-harness deadline, not simulation state)
+    while time.monotonic() < deadline:  # lint: allow(DET002, smoke-harness deadline, not simulation state)
+        snapshot = status(root)
+        pids = snapshot.get("worker_pids", {})
+        for pid in pids.values():
+            try:
+                os.kill(int(pid), signal.SIGKILL)
+            except ProcessLookupError:
+                continue
+            print(f"smoke: killed worker pid {pid}")
+            return int(pid)
+        if snapshot.get("outstanding", 0) <= 0:
+            raise SystemExit(
+                "smoke: the sweep drained before a worker could be "
+                "killed; raise --cycles so runs outlive the probe"
+            )
+        time.sleep(0.02)
+    raise SystemExit("smoke: found no killable worker pid in time")
+
+
+def wait_for_drain(root: str, timeout_s: float = 600.0) -> Dict:
+    deadline = time.monotonic() + timeout_s  # lint: allow(DET002, smoke-harness deadline, not simulation state)
+    while time.monotonic() < deadline:  # lint: allow(DET002, smoke-harness deadline, not simulation state)
+        snapshot = status(root)
+        if snapshot.get("outstanding", 0) <= 0:
+            return snapshot
+        time.sleep(0.1)
+    raise SystemExit(f"smoke: sweep failed to drain within {timeout_s:g}s")
+
+
+def results_snapshot(root: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "results", "--root", root],
+        capture_output=True, text=True, check=True,
+    )
+    return proc.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default="/tmp/repro-serve-smoke")
+    parser.add_argument(
+        "--cycles", type=int, default=20000,
+        help="measurement window per run (default %(default)s; large "
+        "enough that the chaos kill lands mid-run)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    root = args.root
+    Path(root).mkdir(parents=True, exist_ok=True)
+    server: Optional[subprocess.Popen] = None
+    try:
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--root", root, "--workers", str(args.workers),
+            ],
+        )
+        address = wait_for_address(root)
+        print(f"smoke: service up at {address}")
+
+        sweep = sweep_payload(args.cycles)
+        ticket = request(
+            root,
+            {"op": "submit", "tenant": "smoke", "share": 1.0, "sweep": sweep},
+        )["ticket"]
+        print(f"smoke: submitted {ticket['runs']} runs "
+              f"({ticket['queued']} queued, {ticket['cached']} cached)")
+        assert ticket["runs"] == 24, ticket
+        assert ticket["queued"] == 24, ticket
+
+        kill_one_worker(root)
+        snapshot = wait_for_drain(root)
+        counts = snapshot["counts"]
+        print(f"smoke: drained: {counts}")
+        assert counts["done"] == 24, counts
+        assert counts["lost"] == 0, counts
+        assert counts["error"] == 0, counts
+        assert counts["retried"] >= 1, (
+            f"the killed worker never surfaced as a retry: {counts}"
+        )
+        assert snapshot["store_runs"] == 24, snapshot["store_runs"]
+
+        first = results_snapshot(root)
+        assert "fingerprint" in first and "FQ-VFTF" in first, first
+
+        again = request(
+            root,
+            {"op": "submit", "tenant": "smoke", "share": 1.0, "sweep": sweep},
+        )["ticket"]
+        print(f"smoke: resubmitted: {again['cached']} cache-served, "
+              f"{again['queued']} queued")
+        assert again["cached"] == 24, again
+        assert again["queued"] == 0, again
+
+        second = results_snapshot(root)
+        assert first == second, (
+            "results rendering changed across a fully cache-served "
+            "resubmission"
+        )
+        print("smoke: results rendering is byte-identical after resubmit")
+
+        assert request(root, {"op": "shutdown"})["ok"]
+        code = server.wait(timeout=60)
+        server = None
+        assert code == 0, f"serve exited {code}"
+        print("smoke: serve exited cleanly; all assertions held")
+        return 0
+    finally:
+        if server is not None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
